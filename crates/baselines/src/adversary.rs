@@ -1,0 +1,148 @@
+//! Attack strategies against the baseline protocols.
+
+use std::collections::HashSet;
+
+use crusader_crypto::NodeId;
+use crusader_sim::{Adversary, AdversaryApi};
+use crusader_time::Dur;
+
+use crate::echo_sync::{echo_sign_bytes, EchoMsg};
+use crate::lynch_welch::Tick;
+
+/// The classic time-equivocation attack on Lynch–Welch: faulty nodes send
+/// their (unsigned, unverifiable) tick *early* to the early half of the
+/// honest nodes and *late* to the late half, disabling the midpoint
+/// contraction. With `f ≥ ⌈n/3⌉` this pins each honest group to its own
+/// extreme and clock drift drives the groups apart round after round —
+/// the behaviour the `⌈n/3⌉ − 1` impossibility predicts.
+///
+/// Grouping convention: odd-index nodes get the early tick, even-index
+/// the late one (matching
+/// [`DriftModel::ExtremalSplit`](crusader_time::drift::DriftModel), where
+/// odd nodes carry fast clocks and pulse early).
+#[derive(Debug)]
+pub struct TickStagger {
+    /// Gap between the early and the late delivery.
+    pub stagger: Dur,
+    started: HashSet<u64>,
+    pending: Vec<(u64, NodeId, NodeId, Tick)>,
+}
+
+impl TickStagger {
+    /// Creates the attack with the given stagger.
+    #[must_use]
+    pub fn new(stagger: Dur) -> Self {
+        TickStagger {
+            stagger,
+            started: HashSet::new(),
+            pending: Vec::new(),
+        }
+    }
+}
+
+impl Adversary<Tick> for TickStagger {
+    fn on_deliver(
+        &mut self,
+        _to: NodeId,
+        _from: NodeId,
+        msg: &Tick,
+        api: &mut AdversaryApi<'_, Tick>,
+    ) {
+        if !self.started.insert(msg.round) {
+            return;
+        }
+        let now = api.now();
+        let n = api.n();
+        let corrupted: Vec<NodeId> = api.corrupted().iter().copied().collect();
+        for z in &corrupted {
+            for v in NodeId::all(n) {
+                if api.corrupted().contains(&v) {
+                    continue;
+                }
+                let tick = Tick { round: msg.round };
+                if v.index() % 2 == 1 {
+                    // Early half: ship immediately at minimum delay.
+                    api.send_as(*z, v, tick);
+                } else {
+                    let key = msg.round << 20 | (z.index() as u64) << 10 | v.index() as u64;
+                    self.pending.push((key, *z, v, tick));
+                    api.set_timer(now + self.stagger, key);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, key: u64, api: &mut AdversaryApi<'_, Tick>) {
+        if let Some(pos) = self.pending.iter().position(|(k, ..)| *k == key) {
+            let (_, z, v, tick) = self.pending.remove(pos);
+            api.send_as(z, v, tick);
+        }
+    }
+
+    fn pick_delay(&mut self, _from: NodeId, _to: NodeId, bounds: (Dur, Dur)) -> Option<Dur> {
+        Some(bounds.0)
+    }
+}
+
+/// The selective-signature attack that pins Srikanth–Toueg-style echo
+/// synchronization at skew `Θ(d)`: faulty nodes hand their round-`r`
+/// signature to one favoured node *early* (so it reaches the `f + 1`
+/// threshold the instant its own timer fires) and withhold it from
+/// everyone else (who must wait for the favoured node's relay — one full
+/// message delay later).
+///
+/// This attack demonstrates that the `Θ(d)` skew of [21, 28] is not an
+/// artifact of pessimistic analysis: a real adversary realizes it. CPS's
+/// offset *estimation* (rather than threshold-triggered pulsing) is what
+/// removes the `d` term.
+#[derive(Debug)]
+pub struct SelectiveEcho {
+    favored: NodeId,
+    done: HashSet<u64>,
+}
+
+impl SelectiveEcho {
+    /// Creates the attack favouring `favored` (which should be honest).
+    #[must_use]
+    pub fn new(favored: NodeId) -> Self {
+        SelectiveEcho {
+            favored,
+            done: HashSet::new(),
+        }
+    }
+}
+
+impl Adversary<EchoMsg> for SelectiveEcho {
+    fn on_deliver(
+        &mut self,
+        _to: NodeId,
+        _from: NodeId,
+        msg: &EchoMsg,
+        api: &mut AdversaryApi<'_, EchoMsg>,
+    ) {
+        // Seeing round-r traffic, pre-position our signatures for round
+        // r+1 at the favoured node (and round r too, in case it is still
+        // pending there).
+        for round in [msg.round, msg.round + 1] {
+            if !self.done.insert(round) {
+                continue;
+            }
+            let corrupted: Vec<NodeId> = api.corrupted().iter().copied().collect();
+            for z in corrupted {
+                let sig = api.signer().sign_as(z, &echo_sign_bytes(round));
+                api.send_as(
+                    z,
+                    self.favored,
+                    EchoMsg {
+                        round,
+                        sigs: vec![(z, sig)],
+                    },
+                );
+            }
+        }
+    }
+
+    fn pick_delay(&mut self, _from: NodeId, _to: NodeId, bounds: (Dur, Dur)) -> Option<Dur> {
+        Some(bounds.0)
+    }
+}

@@ -1,0 +1,412 @@
+//! Dolev–Strong authenticated broadcast (Dolev & Strong, SIAM J. Comput.
+//! 1983): Byzantine broadcast with signature chains, tolerating any
+//! `f < n − 1` in `f + 1` synchronous rounds.
+//!
+//! This is the consensus substrate the paper's introduction refers to when
+//! discussing signature-based algorithms with resilience `⌈n/2⌉ − 1` but
+//! skew growing in `n` (\[2\]): each broadcast costs `f + 1` sequential
+//! rounds, and that serialization is what the chained-epoch baseline
+//! ([`crate::chain_sync`]) inherits as an `Ω(f)`-scaled skew.
+//!
+//! Protocol: the dealer signs its value and sends it to everyone. A node
+//! that, in round `r`, holds a value with a chain of `r + 1` distinct
+//! signatures starting with the dealer's *extracts* the value, appends its
+//! own signature and relays (if the chain can still grow). After round
+//! `f + 1`, a node outputs the unique extracted value, or `⊥` if it
+//! extracted zero or several.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crusader_crypto::{NodeId, Signature, Signer, Verifier};
+use crusader_sim::synchronous::RoundProtocol;
+
+/// Domain-separation tag for Dolev–Strong signatures.
+pub const DS_DOMAIN: &[u8] = b"crusader/dolev-strong/v1";
+
+/// The bytes every chain member signs: domain ‖ session ‖ dealer ‖ value.
+#[must_use]
+pub fn ds_sign_bytes(session: u64, dealer: NodeId, value: u64) -> Bytes {
+    let mut buf = Vec::with_capacity(DS_DOMAIN.len() + 18);
+    buf.extend_from_slice(DS_DOMAIN);
+    buf.extend_from_slice(&session.to_le_bytes());
+    buf.extend_from_slice(&(dealer.index() as u16).to_le_bytes());
+    buf.extend_from_slice(&value.to_le_bytes());
+    Bytes::from(buf)
+}
+
+/// A value with its signature chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DsMsg {
+    /// The claimed dealer value.
+    pub value: u64,
+    /// Signature chain; must start with the dealer and contain distinct
+    /// signers, all over [`ds_sign_bytes`].
+    pub chain: Vec<(NodeId, Signature)>,
+}
+
+/// Output of Dolev–Strong broadcast.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DsOutput {
+    /// All honest nodes output this same value; equals the dealer's input
+    /// if the dealer is honest.
+    Value(u64),
+    /// The dealer equivocated or stayed silent.
+    Bot,
+}
+
+/// One node of a Dolev–Strong broadcast instance.
+pub struct DsNode {
+    me: NodeId,
+    n: usize,
+    f: usize,
+    dealer: NodeId,
+    session: u64,
+    input: Option<u64>,
+    signer: Arc<dyn Signer>,
+    verifier: Arc<dyn Verifier>,
+    extracted: BTreeSet<u64>,
+    /// Chains to relay next round.
+    outbox: Vec<DsMsg>,
+}
+
+impl DsNode {
+    /// Creates a node; `input` must be `Some` iff `me == dealer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on role/input mismatch or signer identity mismatch.
+    pub fn new(
+        me: NodeId,
+        n: usize,
+        f: usize,
+        dealer: NodeId,
+        session: u64,
+        input: Option<u64>,
+        signer: Arc<dyn Signer>,
+        verifier: Arc<dyn Verifier>,
+    ) -> Self {
+        assert_eq!(input.is_some(), me == dealer, "dealer provides the input");
+        assert_eq!(signer.node(), me, "signer identity mismatch");
+        DsNode {
+            me,
+            n,
+            f,
+            dealer,
+            session,
+            input,
+            signer,
+            verifier,
+            extracted: BTreeSet::new(),
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Chain validity in round `r` (0-based): `r + 1` or more distinct
+    /// signers, dealer first, every signature valid.
+    fn chain_valid(&self, msg: &DsMsg, round: usize) -> bool {
+        if msg.chain.len() < round + 1 || msg.chain.is_empty() {
+            return false;
+        }
+        if msg.chain[0].0 != self.dealer {
+            return false;
+        }
+        let mut seen = BTreeSet::new();
+        let bytes = ds_sign_bytes(self.session, self.dealer, msg.value);
+        for (signer, sig) in &msg.chain {
+            if !seen.insert(*signer)
+                || signer.index() >= self.n
+                || !self.verifier.verify(*signer, &bytes, sig)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn extract(&mut self, msg: DsMsg) {
+        if !self.extracted.insert(msg.value) {
+            return;
+        }
+        // Relay with our signature appended, if the chain can still grow
+        // and we are not already on it.
+        if msg.chain.len() <= self.f && !msg.chain.iter().any(|(s, _)| *s == self.me) {
+            let bytes = ds_sign_bytes(self.session, self.dealer, msg.value);
+            let mut chain = msg.chain;
+            chain.push((self.me, self.signer.sign(&bytes)));
+            self.outbox.push(DsMsg {
+                value: msg.value,
+                chain,
+            });
+        }
+    }
+}
+
+impl RoundProtocol for DsNode {
+    type Msg = DsMsg;
+    type Output = DsOutput;
+
+    fn send(&mut self, round: usize) -> Vec<(NodeId, DsMsg)> {
+        if round == 0 {
+            if let Some(value) = self.input {
+                let bytes = ds_sign_bytes(self.session, self.dealer, value);
+                let msg = DsMsg {
+                    value,
+                    chain: vec![(self.me, self.signer.sign(&bytes))],
+                };
+                self.extracted.insert(value);
+                return NodeId::all(self.n).map(|to| (to, msg.clone())).collect();
+            }
+            return Vec::new();
+        }
+        let outbox = std::mem::take(&mut self.outbox);
+        let mut sends = Vec::with_capacity(outbox.len() * self.n);
+        for msg in outbox {
+            for to in NodeId::all(self.n) {
+                sends.push((to, msg.clone()));
+            }
+        }
+        sends
+    }
+
+    fn receive(&mut self, round: usize, inbox: Vec<(NodeId, DsMsg)>) -> Option<DsOutput> {
+        for (_, msg) in inbox {
+            if self.chain_valid(&msg, round) {
+                self.extract(msg);
+            }
+        }
+        if round == self.f + 1 {
+            // Rounds 0..=f+1 have run; decide.
+            Some(match self.extracted.len() {
+                1 => DsOutput::Value(*self.extracted.iter().next().expect("len 1")),
+                _ => DsOutput::Bot,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crusader_crypto::KeyRing;
+    use crusader_sim::synchronous::{run_rounds, RushingAdversary, SilentRushing};
+
+    use super::*;
+
+    fn build(
+        n: usize,
+        f: usize,
+        dealer: usize,
+        faulty: &[usize],
+        value: u64,
+        ring: &KeyRing,
+    ) -> Vec<Option<DsNode>> {
+        (0..n)
+            .map(|i| {
+                if faulty.contains(&i) {
+                    None
+                } else {
+                    let me = NodeId::new(i);
+                    Some(DsNode::new(
+                        me,
+                        n,
+                        f,
+                        NodeId::new(dealer),
+                        3,
+                        (i == dealer).then_some(value),
+                        ring.signer(me),
+                        ring.verifier(),
+                    ))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn honest_dealer_validity() {
+        let ring = KeyRing::symbolic(4, 1);
+        let run = run_rounds(build(4, 1, 0, &[], 99, &ring), &mut SilentRushing, 10);
+        for out in run.outputs {
+            assert_eq!(out, Some(DsOutput::Value(99)));
+        }
+    }
+
+    #[test]
+    fn silent_dealer_gives_bot() {
+        let ring = KeyRing::symbolic(4, 1);
+        let run = run_rounds(build(4, 1, 3, &[3], 0, &ring), &mut SilentRushing, 10);
+        for i in 0..3 {
+            assert_eq!(run.outputs[i], Some(DsOutput::Bot), "node {i}");
+        }
+    }
+
+    /// Last-minute equivocation: the faulty dealer sends value A to
+    /// everyone in round 0, and hands a second signed value B to exactly
+    /// one node in the final relay round — too late for honest relaying,
+    /// which is precisely what the `f + 1` round count defends against
+    /// (the chain would need `r + 1` signatures, which B cannot have).
+    struct LateEquivocator {
+        ring: KeyRing,
+        dealer: NodeId,
+        n: usize,
+        f: usize,
+    }
+
+    impl RushingAdversary<DsMsg> for LateEquivocator {
+        fn round(
+            &mut self,
+            round: usize,
+            _honest: &[(NodeId, NodeId, DsMsg)],
+        ) -> Vec<(NodeId, NodeId, DsMsg)> {
+            let adv = self
+                .ring
+                .restricted_signer([self.dealer].into_iter().collect());
+            if round == 0 {
+                let bytes = ds_sign_bytes(3, self.dealer, 1);
+                let msg = DsMsg {
+                    value: 1,
+                    chain: vec![(self.dealer, adv.sign_as(self.dealer, &bytes))],
+                };
+                return NodeId::all(self.n)
+                    .filter(|v| *v != self.dealer)
+                    .map(|to| (self.dealer, to, msg.clone()))
+                    .collect();
+            }
+            if round == self.f + 1 {
+                // A fresh value whose chain has only one signature cannot
+                // be valid in round f+1 (needs f+2 distinct signers).
+                let bytes = ds_sign_bytes(3, self.dealer, 2);
+                let msg = DsMsg {
+                    value: 2,
+                    chain: vec![(self.dealer, adv.sign_as(self.dealer, &bytes))],
+                };
+                return vec![(self.dealer, NodeId::new(0), msg)];
+            }
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn late_equivocation_cannot_split_outputs() {
+        let ring = KeyRing::symbolic(4, 1);
+        let mut adv = LateEquivocator {
+            ring: ring.clone(),
+            dealer: NodeId::new(3),
+            n: 4,
+            f: 1,
+        };
+        let run = run_rounds(build(4, 1, 3, &[3], 0, &ring), &mut adv, 10);
+        for i in 0..3 {
+            assert_eq!(run.outputs[i], Some(DsOutput::Value(1)), "node {i}");
+        }
+    }
+
+    /// Split equivocation in round 0: half the nodes get A, half get B.
+    /// Honest relaying must reconcile all nodes to the same output (⊥,
+    /// since both values end up extracted everywhere).
+    struct SplitEquivocator {
+        ring: KeyRing,
+        dealer: NodeId,
+        n: usize,
+    }
+
+    impl RushingAdversary<DsMsg> for SplitEquivocator {
+        fn round(
+            &mut self,
+            round: usize,
+            _honest: &[(NodeId, NodeId, DsMsg)],
+        ) -> Vec<(NodeId, NodeId, DsMsg)> {
+            if round != 0 {
+                return Vec::new();
+            }
+            let adv = self
+                .ring
+                .restricted_signer([self.dealer].into_iter().collect());
+            let mut out = Vec::new();
+            for v in NodeId::all(self.n) {
+                if v == self.dealer {
+                    continue;
+                }
+                let value = if v.index() % 2 == 0 { 1 } else { 2 };
+                let bytes = ds_sign_bytes(3, self.dealer, value);
+                out.push((
+                    self.dealer,
+                    v,
+                    DsMsg {
+                        value,
+                        chain: vec![(self.dealer, adv.sign_as(self.dealer, &bytes))],
+                    },
+                ));
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn split_equivocation_agrees_on_bot() {
+        let ring = KeyRing::symbolic(5, 1);
+        let mut adv = SplitEquivocator {
+            ring: ring.clone(),
+            dealer: NodeId::new(4),
+            n: 5,
+        };
+        let run = run_rounds(build(5, 2, 4, &[4], 0, &ring), &mut adv, 10);
+        let first = run.outputs[0].clone();
+        assert_eq!(first, Some(DsOutput::Bot));
+        for i in 1..4 {
+            assert_eq!(run.outputs[i], first, "node {i} disagrees");
+        }
+    }
+
+    #[test]
+    fn forged_chain_is_rejected() {
+        let ring = KeyRing::symbolic(4, 1);
+        // A chain whose inner signature is bogus must not validate.
+        let me = NodeId::new(0);
+        let node = DsNode::new(
+            me,
+            4,
+            1,
+            NodeId::new(3),
+            3,
+            None,
+            ring.signer(me),
+            ring.verifier(),
+        );
+        let msg = DsMsg {
+            value: 9,
+            chain: vec![
+                (NodeId::new(3), crusader_crypto::Signature::Symbolic(1)),
+                (NodeId::new(1), crusader_crypto::Signature::Symbolic(2)),
+            ],
+        };
+        assert!(!node.chain_valid(&msg, 1));
+    }
+
+    #[test]
+    fn duplicate_signers_rejected() {
+        let ring = KeyRing::symbolic(4, 1);
+        let dealer = NodeId::new(3);
+        let bytes = ds_sign_bytes(3, dealer, 9);
+        let adv = ring.restricted_signer([dealer].into_iter().collect());
+        let sig = adv.sign_as(dealer, &bytes);
+        let me = NodeId::new(0);
+        let node = DsNode::new(
+            me,
+            4,
+            1,
+            dealer,
+            3,
+            None,
+            ring.signer(me),
+            ring.verifier(),
+        );
+        let msg = DsMsg {
+            value: 9,
+            chain: vec![(dealer, sig.clone()), (dealer, sig)],
+        };
+        assert!(!node.chain_valid(&msg, 1));
+    }
+}

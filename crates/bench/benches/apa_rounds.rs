@@ -1,0 +1,41 @@
+//! Criterion: synchronous approximate agreement (experiment E5's engine) —
+//! cost of 2⌈log(ℓ/ε)⌉ rounds at ⌈n/2⌉−1 resilience.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crusader_core::{iterations_for, ApaNode};
+use crusader_crypto::{KeyRing, NodeId};
+use crusader_sim::synchronous::{run_rounds, SilentRushing};
+
+fn bench_apa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apa");
+    group.sample_size(10);
+    for n in [5usize, 9, 17] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let f = n.div_ceil(2) - 1;
+            let ring = KeyRing::symbolic(n, 1);
+            let iters = iterations_for(1024.0, 1.0);
+            b.iter(|| {
+                let nodes: Vec<Option<ApaNode>> = (0..n)
+                    .map(|i| {
+                        let me = NodeId::new(i);
+                        Some(ApaNode::new(
+                            me,
+                            n,
+                            f,
+                            iters,
+                            i as f64,
+                            ring.signer(me),
+                            ring.verifier(),
+                        ))
+                    })
+                    .collect();
+                let run = run_rounds(nodes, &mut SilentRushing, 2 * iters);
+                assert_eq!(run.rounds_used, 2 * iters);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apa);
+criterion_main!(benches);

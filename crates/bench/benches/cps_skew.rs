@@ -1,0 +1,27 @@
+//! Criterion: full CPS simulation cost as system size grows (the harness
+//! behind experiments E1-E4; regenerating a skew table point costs one of
+//! these runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crusader_bench::Scenario;
+use crusader_sim::SilentAdversary;
+use crusader_time::Dur;
+
+fn bench_cps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cps_sim");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut s = Scenario::new(n, Dur::from_millis(1.0), Dur::from_micros(10.0), 1.0001);
+            s.pulses = 8;
+            b.iter(|| {
+                let (m, _) = s.run_cps(Box::new(SilentAdversary));
+                assert_eq!(m.pulses, 8);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cps);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion: experiment E10 — the cost of the signature substrate.
+//! Symbolic (ideal-model) vs ed25519 sign/verify; what switching the
+//! simulator to real crypto would cost per message.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crusader_crypto::{KeyRing, NodeId};
+
+fn bench_crypto(c: &mut Criterion) {
+    let msg = b"crusader/cps/pulse/v1 round 42";
+    let symbolic = KeyRing::symbolic(4, 1);
+    let ed = KeyRing::ed25519(4, 1);
+    let me = NodeId::new(0);
+
+    c.bench_function("sign/symbolic", |b| {
+        let signer = symbolic.signer(me);
+        b.iter(|| signer.sign(msg));
+    });
+    c.bench_function("sign/ed25519", |b| {
+        let signer = ed.signer(me);
+        b.iter(|| signer.sign(msg));
+    });
+    c.bench_function("verify/symbolic", |b| {
+        let sig = symbolic.signer(me).sign(msg);
+        let verifier = symbolic.verifier();
+        b.iter(|| assert!(verifier.verify(me, msg, &sig)));
+    });
+    c.bench_function("verify/ed25519", |b| {
+        let sig = ed.signer(me).sign(msg);
+        let verifier = ed.verifier();
+        b.iter(|| assert!(verifier.verify(me, msg, &sig)));
+    });
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

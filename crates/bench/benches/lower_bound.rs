@@ -1,0 +1,32 @@
+//! Criterion: executing the Theorem 5 construction (experiment E7) —
+//! three merged executions, 8 pulses, adversary audit included.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crusader_core::{CpsNode, Params};
+use crusader_lowerbound::{evaluate, TriConfig, TriSim};
+use crusader_time::Dur;
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem5");
+    group.sample_size(10);
+    group.bench_function("tri_execution_cps", |b| {
+        let cfg = TriConfig {
+            d: Dur::from_millis(1.0),
+            u_tilde: Dur::from_micros(200.0),
+            theta: 1.05,
+            max_pulses: 8,
+            horizon: Dur::from_secs(2.0),
+        };
+        let params = Params::max_resilience(3, cfg.d, cfg.u_tilde, cfg.theta);
+        let derived = params.derive().unwrap();
+        b.iter(|| {
+            let trace = TriSim::new(cfg, |me| CpsNode::new(me, params, derived)).run();
+            let report = evaluate(&trace, &cfg).expect("measurement pulse");
+            assert!(report.holds);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bound);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Runs every experiment binary in sequence, emitting one consolidated
+//! report (the source of EXPERIMENTS.md). Each experiment also asserts
+//! its own invariants, so a clean exit is itself a reproduction result.
+
+use std::process::Command;
+
+fn main() {
+    let experiments = [
+        "e1_skew_vs_u",
+        "e2_skew_vs_theta",
+        "e3_resilience",
+        "e4_periods",
+        "e5_apa",
+        "e6_tcb",
+        "e7_lower_bound",
+        "e8_baselines",
+        "e9_rushing",
+        "a1_ablation_no_reject",
+        "a2_ablation_midpoint",
+    ];
+    let mut failures = 0;
+    for exp in experiments {
+        println!("\n{}\n", "=".repeat(78));
+        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(exp))
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("!! experiment {exp} failed: {other:?}");
+                failures += 1;
+            }
+        }
+    }
+    println!("\n{}\n", "=".repeat(78));
+    if failures == 0 {
+        println!("all {} experiments reproduced their expected shapes ✓", experiments.len());
+    } else {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}

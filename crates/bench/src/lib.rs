@@ -1,0 +1,207 @@
+//! Shared measurement harness for the experiment binaries (`src/bin/e*`)
+//! and criterion benches.
+//!
+//! Every experiment in DESIGN.md's per-experiment index funnels through
+//! [`Scenario::run_cps`] / [`Scenario::run_protocol`], so sweeps differ only in the
+//! parameter being varied and the adversary applied.
+
+use crusader_core::{CpsNode, Derived, Params};
+use crusader_crypto::NodeId;
+use crusader_sim::metrics::{pulse_stats, steady_state_skew, PulseStats};
+use crusader_sim::{Adversary, Automaton, DelayModel, SimBuilder, Trace};
+use crusader_time::drift::DriftModel;
+use crusader_time::{Dur, Time};
+
+/// One measured run.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Pulses completed by every honest node.
+    pub pulses: usize,
+    /// `sup_r ‖p⃗_r‖` over the run.
+    pub max_skew: Dur,
+    /// Max skew after the convergence prefix (pulse 5 onwards).
+    pub steady_skew: Dur,
+    /// Minimum observed period.
+    pub min_period: Dur,
+    /// Maximum observed period.
+    pub max_period: Dur,
+    /// Number of soft violations recorded (0 in a healthy run).
+    pub violations: usize,
+    /// Messages delivered.
+    pub messages: u64,
+}
+
+impl Measurement {
+    fn from_stats(stats: &PulseStats, trace: &Trace) -> Self {
+        Measurement {
+            pulses: stats.complete_pulses,
+            max_skew: stats.max_skew,
+            steady_skew: steady_state_skew(stats, 5.min(stats.complete_pulses.max(1)))
+                .unwrap_or(stats.max_skew),
+            min_period: stats.min_period,
+            max_period: stats.max_period,
+            violations: trace.violations.len(),
+            messages: trace.messages_delivered,
+        }
+    }
+}
+
+/// A scenario: everything about a run except the protocol.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// System size.
+    pub n: usize,
+    /// Faulty node indices.
+    pub faulty: Vec<usize>,
+    /// Maximum delay `d`.
+    pub d: Dur,
+    /// Honest-link uncertainty `u`.
+    pub u: Dur,
+    /// Faulty-link uncertainty `ũ` (defaults to `u`).
+    pub u_tilde: Option<Dur>,
+    /// Clock-rate bound `θ`.
+    pub theta: f64,
+    /// Delay policy.
+    pub delays: DelayModel,
+    /// Drift model.
+    pub drift: DriftModel,
+    /// Pulses to run for.
+    pub pulses: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A default scenario at maximum resilience with random delays and
+    /// stable random drift.
+    #[must_use]
+    pub fn new(n: usize, d: Dur, u: Dur, theta: f64) -> Self {
+        let f = crusader_core::max_faults_with_signatures(n);
+        Scenario {
+            n,
+            faulty: (n - f..n).collect(),
+            d,
+            u,
+            u_tilde: None,
+            theta,
+            delays: DelayModel::Random,
+            drift: DriftModel::RandomStable,
+            pulses: 12,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// The parameter set implied by the scenario: `f = |faulty|` (capped
+    /// at `⌈n/2⌉ − 1`); a fault-free scenario still provisions the
+    /// maximum budget, as a deployed system would.
+    #[must_use]
+    pub fn params(&self) -> Params {
+        let fmax = crusader_core::max_faults_with_signatures(self.n);
+        let f = if self.faulty.is_empty() {
+            fmax
+        } else {
+            self.faulty.len().min(fmax)
+        };
+        Params {
+            n: self.n,
+            f,
+            d: self.d,
+            u: self.u,
+            theta: self.theta,
+        }
+    }
+
+    /// The honest node ids.
+    #[must_use]
+    pub fn honest(&self) -> Vec<NodeId> {
+        NodeId::all(self.n)
+            .filter(|v| !self.faulty.contains(&v.index()))
+            .collect()
+    }
+
+    fn builder(&self, max_offset: Dur) -> SimBuilder {
+        let mut link = crusader_sim::LinkConfig::new(self.d, self.u);
+        if let Some(ut) = self.u_tilde {
+            link = link.with_u_tilde(ut);
+        }
+        SimBuilder::new(self.n)
+            .faulty(self.faulty.iter().copied())
+            .link_config(link)
+            .delays(self.delays.clone())
+            .drift(self.drift.clone(), self.theta, max_offset)
+            .seed(self.seed)
+            .horizon(Time::from_secs(3600.0))
+            .max_pulses(self.pulses)
+    }
+
+    /// Runs CPS under this scenario with the given adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario parameters are infeasible for Theorem 17.
+    pub fn run_cps(
+        &self,
+        adversary: Box<dyn Adversary<crusader_core::Carry>>,
+    ) -> (Measurement, Derived) {
+        let params = self.params();
+        let derived = params.derive().expect("feasible scenario");
+        let trace = self
+            .builder(derived.s)
+            .build(|me| CpsNode::new(me, params, derived), adversary)
+            .run();
+        let stats = pulse_stats(&trace, &self.honest());
+        (Measurement::from_stats(&stats, &trace), derived)
+    }
+
+    /// Runs an arbitrary automaton under this scenario.
+    pub fn run_protocol<A, F>(
+        &self,
+        max_offset: Dur,
+        make_node: F,
+        adversary: Box<dyn Adversary<A::Msg>>,
+    ) -> Measurement
+    where
+        A: Automaton,
+        F: FnMut(NodeId) -> A,
+    {
+        let trace = self.builder(max_offset).build(make_node, adversary).run();
+        let stats = pulse_stats(&trace, &self.honest());
+        Measurement::from_stats(&stats, &trace)
+    }
+}
+
+/// Formats a duration as aligned microseconds.
+#[must_use]
+pub fn us(d: Dur) -> String {
+    format!("{:.3}", d.as_micros())
+}
+
+/// Prints a markdown-style table header.
+pub fn header(cols: &[&str]) {
+    println!("| {} |", cols.join(" | "));
+    println!("|{}|", cols.iter().map(|c| "-".repeat(c.len() + 2)).collect::<Vec<_>>().join("|"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crusader_sim::SilentAdversary;
+
+    #[test]
+    fn scenario_defaults_are_max_resilience() {
+        let s = Scenario::new(8, Dur::from_millis(1.0), Dur::from_micros(10.0), 1.0001);
+        assert_eq!(s.faulty, vec![5, 6, 7]);
+        assert_eq!(s.params().f, 3);
+        assert_eq!(s.honest().len(), 5);
+    }
+
+    #[test]
+    fn cps_measurement_runs() {
+        let mut s = Scenario::new(4, Dur::from_millis(1.0), Dur::from_micros(10.0), 1.0001);
+        s.pulses = 5;
+        let (m, derived) = s.run_cps(Box::new(SilentAdversary));
+        assert_eq!(m.pulses, 5);
+        assert!(m.max_skew <= derived.s);
+        assert_eq!(m.violations, 0);
+    }
+}

@@ -1,0 +1,433 @@
+//! Synchronous approximate agreement with signatures (Algorithm APA,
+//! Figure 1): resilience `⌈n/2⌉ − 1`, two rounds per iteration, range
+//! halved per iteration (Theorem 9), hence `2⌈log₂(ℓ/ε)⌉` rounds to reach
+//! `ε`-consistency from initial range `ℓ` (Corollary 2).
+//!
+//! Every iteration runs `n` parallel crusader-broadcast instances (one per
+//! dealer) bundled into a single message per round, then applies the
+//! discard-and-midpoint rule of [`crate::midpoint`](mod@crate::midpoint).
+
+use std::sync::Arc;
+
+use crusader_crypto::{NodeId, Signer, Verifier};
+use crusader_sim::synchronous::RoundProtocol;
+use crusader_time::Dur;
+
+use crate::cb::{cb_sign_bytes, SignedValue};
+use crate::midpoint;
+
+/// Number of iterations needed to go from initial range `ell` to target
+/// `eps` (Corollary 2): `⌈log₂(ℓ/ε)⌉`.
+///
+/// # Panics
+///
+/// Panics unless `ell >= 0` and `eps > 0`.
+#[must_use]
+pub fn iterations_for(ell: f64, eps: f64) -> usize {
+    assert!(ell >= 0.0 && eps > 0.0, "need ell >= 0, eps > 0");
+    if ell <= eps {
+        return 0;
+    }
+    (ell / eps).log2().ceil() as usize
+}
+
+/// One message of APA: this node's dealer-value (round `2i`) or its echo
+/// bundle (round `2i+1`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ApaMsg {
+    /// Round `2i`: the sender deals its current value.
+    Deal(SignedValue<f64>),
+    /// Round `2i+1`: the sender echoes every signed value it received,
+    /// tagged by dealer.
+    Echo(Vec<(NodeId, SignedValue<f64>)>),
+}
+
+/// The APA automaton for one node, running `iterations` iterations of
+/// Figure 1 and outputting the final value.
+pub struct ApaNode {
+    me: NodeId,
+    n: usize,
+    f: usize,
+    iterations: usize,
+    value: f64,
+    signer: Arc<dyn Signer>,
+    verifier: Arc<dyn Verifier>,
+    /// Direct (dealer-channel) values of the current iteration.
+    direct: Vec<Option<SignedValue<f64>>>,
+    /// Whether a conflicting valid signature was seen per dealer.
+    conflicted: Vec<bool>,
+}
+
+impl ApaNode {
+    /// Creates a node with input `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f ≥ n` or the signer identity mismatches.
+    pub fn new(
+        me: NodeId,
+        n: usize,
+        f: usize,
+        iterations: usize,
+        value: f64,
+        signer: Arc<dyn Signer>,
+        verifier: Arc<dyn Verifier>,
+    ) -> Self {
+        assert!(f < n, "f must be below n");
+        assert_eq!(signer.node(), me, "signer identity mismatch");
+        ApaNode {
+            me,
+            n,
+            f,
+            iterations,
+            value,
+            signer,
+            verifier,
+            direct: vec![None; n],
+            conflicted: vec![false; n],
+        }
+    }
+
+    /// The node's current value (the output after the final iteration).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The crusader-broadcast session id used for `dealer`'s instance in
+    /// `iteration` (exposed so adversarial strategies can produce validly
+    /// signed equivocations for corrupted dealers).
+    #[must_use]
+    pub fn session(iteration: usize, dealer: NodeId) -> u64 {
+        (iteration as u64) << 16 | dealer.index() as u64
+    }
+
+    fn validate(&self, iteration: usize, dealer: NodeId, sv: &SignedValue<f64>) -> bool {
+        self.verifier.verify(
+            dealer,
+            &cb_sign_bytes(Self::session(iteration, dealer), dealer, &sv.value),
+            &sv.signature,
+        )
+    }
+
+    fn finish_iteration(&mut self) {
+        let mut estimates: Vec<Dur> = Vec::with_capacity(self.n);
+        let mut bots = 0usize;
+        for dealer in 0..self.n {
+            let output = match (&self.direct[dealer], self.conflicted[dealer]) {
+                (Some(sv), false) => Some(sv.value),
+                _ => None,
+            };
+            match output {
+                Some(v) if v.is_finite() => estimates.push(Dur::from_secs(v)),
+                _ => bots += 1,
+            }
+        }
+        if let Some(mid) = midpoint::midpoint(&estimates, self.f, bots) {
+            self.value = mid.as_secs();
+        }
+        // else: fault budget exceeded; keep the previous value (validity
+        // still holds trivially).
+        self.direct = vec![None; self.n];
+        self.conflicted = vec![false; self.n];
+    }
+}
+
+impl RoundProtocol for ApaNode {
+    type Msg = ApaMsg;
+    type Output = f64;
+
+    fn send(&mut self, round: usize) -> Vec<(NodeId, ApaMsg)> {
+        let iteration = round / 2;
+        if iteration >= self.iterations {
+            return Vec::new();
+        }
+        if round % 2 == 0 {
+            // Deal our value via (the first round of) crusader broadcast.
+            let sv = SignedValue {
+                value: self.value,
+                signature: self.signer.sign(&cb_sign_bytes(
+                    Self::session(iteration, self.me),
+                    self.me,
+                    &self.value,
+                )),
+            };
+            NodeId::all(self.n)
+                .map(|to| (to, ApaMsg::Deal(sv.clone())))
+                .collect()
+        } else {
+            // Echo everything received from the dealers.
+            let bundle: Vec<(NodeId, SignedValue<f64>)> = self
+                .direct
+                .iter()
+                .enumerate()
+                .filter_map(|(d, sv)| sv.clone().map(|sv| (NodeId::new(d), sv)))
+                .collect();
+            NodeId::all(self.n)
+                .map(|to| (to, ApaMsg::Echo(bundle.clone())))
+                .collect()
+        }
+    }
+
+    fn receive(&mut self, round: usize, inbox: Vec<(NodeId, ApaMsg)>) -> Option<f64> {
+        let iteration = round / 2;
+        if iteration >= self.iterations {
+            return Some(self.value);
+        }
+        if round % 2 == 0 {
+            for (from, msg) in inbox {
+                if let ApaMsg::Deal(sv) = msg {
+                    if self.direct[from.index()].is_none()
+                        && self.validate(iteration, from, &sv)
+                    {
+                        self.direct[from.index()] = Some(sv);
+                    }
+                }
+            }
+            None
+        } else {
+            for (_, msg) in inbox {
+                if let ApaMsg::Echo(bundle) = msg {
+                    for (dealer, sv) in bundle {
+                        if dealer.index() >= self.n
+                            || !self.validate(iteration, dealer, &sv)
+                        {
+                            continue;
+                        }
+                        match &self.direct[dealer.index()] {
+                            Some(mine) if mine.value != sv.value => {
+                                self.conflicted[dealer.index()] = true;
+                            }
+                            Some(_) => {}
+                            None => {
+                                // We saw a valid signed value but received
+                                // nothing directly: the dealer withheld
+                                // from us. Figure 1 outputs ⊥ for that
+                                // instance (no direct value to adopt).
+                                self.conflicted[dealer.index()] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            self.finish_iteration();
+            (iteration + 1 == self.iterations).then_some(self.value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crusader_crypto::KeyRing;
+    use crusader_sim::synchronous::{run_rounds, RushingAdversary, SilentRushing};
+
+    use super::*;
+
+    fn build(
+        n: usize,
+        f: usize,
+        iterations: usize,
+        inputs: &[f64],
+        faulty: &[usize],
+        ring: &KeyRing,
+    ) -> Vec<Option<ApaNode>> {
+        (0..n)
+            .map(|i| {
+                if faulty.contains(&i) {
+                    None
+                } else {
+                    let me = NodeId::new(i);
+                    Some(ApaNode::new(
+                        me,
+                        n,
+                        f,
+                        iterations,
+                        inputs[i],
+                        ring.signer(me),
+                        ring.verifier(),
+                    ))
+                }
+            })
+            .collect()
+    }
+
+    fn spread(outs: &[Option<f64>]) -> f64 {
+        let vals: Vec<f64> = outs.iter().filter_map(|o| *o).collect();
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        max - min
+    }
+
+    #[test]
+    fn iterations_for_matches_corollary_2() {
+        assert_eq!(iterations_for(8.0, 1.0), 3);
+        assert_eq!(iterations_for(1.0, 1.0), 0);
+        assert_eq!(iterations_for(10.0, 1.0), 4);
+        assert_eq!(iterations_for(0.0, 0.5), 0);
+        // 2⌈log ℓ/ε⌉ *rounds* = 2 per iteration.
+        assert_eq!(2 * iterations_for(1024.0, 1.0), 20);
+    }
+
+    #[test]
+    fn fault_free_converges_halving_each_iteration() {
+        let ring = KeyRing::symbolic(4, 2);
+        let inputs = [0.0, 1.0, 2.0, 4.0];
+        for iters in 1..=4 {
+            let nodes = build(4, 1, iters, &inputs, &[], &ring);
+            let run = run_rounds(nodes, &mut SilentRushing, 2 * iters);
+            assert_eq!(run.rounds_used, 2 * iters);
+            let s = spread(&run.outputs);
+            // With f=1 the honest inputs after one discard span at most
+            // ℓ; each iteration halves.
+            assert!(
+                s <= 4.0 / 2f64.powi(iters as i32) + 1e-12,
+                "iters={iters}, spread={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn validity_holds_with_silent_faults() {
+        let ring = KeyRing::symbolic(5, 2);
+        let inputs = [1.0, 2.0, 3.0, 0.0, 0.0];
+        let nodes = build(5, 2, 3, &inputs, &[3, 4], &ring);
+        let run = run_rounds(nodes, &mut SilentRushing, 6);
+        for i in 0..3 {
+            let v = run.outputs[i].unwrap();
+            assert!((1.0..=3.0).contains(&v), "node {i} output {v}");
+        }
+    }
+
+    /// Byzantine dealers reporting extreme values, consistently.
+    struct ExtremeDealers {
+        ring: KeyRing,
+        faulty: Vec<NodeId>,
+        n: usize,
+    }
+
+    impl RushingAdversary<ApaMsg> for ExtremeDealers {
+        fn round(
+            &mut self,
+            round: usize,
+            _honest: &[(NodeId, NodeId, ApaMsg)],
+        ) -> Vec<(NodeId, NodeId, ApaMsg)> {
+            if round % 2 != 0 {
+                return Vec::new();
+            }
+            let iteration = round / 2;
+            let adv = self
+                .ring
+                .restricted_signer(self.faulty.iter().copied().collect());
+            let mut out = Vec::new();
+            for (k, z) in self.faulty.iter().enumerate() {
+                let value = if k % 2 == 0 { 1e9 } else { -1e9 };
+                let sig = adv.sign_as(
+                    *z,
+                    &cb_sign_bytes(ApaNode::session(iteration, *z), *z, &value),
+                );
+                for to in NodeId::all(self.n) {
+                    out.push((
+                        *z,
+                        to,
+                        ApaMsg::Deal(SignedValue {
+                            value,
+                            signature: sig.clone(),
+                        }),
+                    ));
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn extreme_byzantine_values_are_discarded() {
+        // n = 5, f = 2 = ⌈5/2⌉ − 1: beyond the n/3 bound of the
+        // signature-free setting.
+        let ring = KeyRing::symbolic(5, 2);
+        let inputs = [1.0, 2.0, 3.0, 0.0, 0.0];
+        let mut adv = ExtremeDealers {
+            ring: ring.clone(),
+            faulty: vec![NodeId::new(3), NodeId::new(4)],
+            n: 5,
+        };
+        let nodes = build(5, 2, 4, &inputs, &[3, 4], &ring);
+        let run = run_rounds(nodes, &mut adv, 8);
+        for i in 0..3 {
+            let v = run.outputs[i].unwrap();
+            assert!((1.0..=3.0).contains(&v), "node {i} output {v}");
+        }
+        assert!(spread(&run.outputs) <= 2.0 / 16.0 + 1e-12);
+    }
+
+    /// Split-value dealers: different value to each half (classic attack
+    /// that breaks n/3 < f without signatures). The echoes expose the
+    /// conflict, so every honest node outputs ⊥ for those dealers.
+    struct SplitDealers {
+        ring: KeyRing,
+        faulty: Vec<NodeId>,
+        n: usize,
+    }
+
+    impl RushingAdversary<ApaMsg> for SplitDealers {
+        fn round(
+            &mut self,
+            round: usize,
+            _honest: &[(NodeId, NodeId, ApaMsg)],
+        ) -> Vec<(NodeId, NodeId, ApaMsg)> {
+            if round % 2 != 0 {
+                return Vec::new();
+            }
+            let iteration = round / 2;
+            let adv = self
+                .ring
+                .restricted_signer(self.faulty.iter().copied().collect());
+            let mut out = Vec::new();
+            for z in &self.faulty {
+                for to in NodeId::all(self.n) {
+                    let value = if to.index() % 2 == 0 { -1e9 } else { 1e9 };
+                    let sig = adv.sign_as(
+                        *z,
+                        &cb_sign_bytes(ApaNode::session(iteration, *z), *z, &value),
+                    );
+                    out.push((
+                        *z,
+                        to,
+                        ApaMsg::Deal(SignedValue {
+                            value,
+                            signature: sig.clone(),
+                        }),
+                    ));
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn equivocation_is_neutralized_at_max_resilience() {
+        let ring = KeyRing::symbolic(5, 9);
+        let inputs = [1.0, 1.5, 3.0, 0.0, 0.0];
+        let mut adv = SplitDealers {
+            ring: ring.clone(),
+            faulty: vec![NodeId::new(3), NodeId::new(4)],
+            n: 5,
+        };
+        let nodes = build(5, 2, 4, &inputs, &[3, 4], &ring);
+        let run = run_rounds(nodes, &mut adv, 8);
+        for i in 0..3 {
+            let v = run.outputs[i].unwrap();
+            assert!((1.0..=3.0).contains(&v), "node {i} output {v}");
+        }
+    }
+
+    #[test]
+    fn zero_iterations_returns_input() {
+        let ring = KeyRing::symbolic(3, 2);
+        let inputs = [1.0, 2.0, 3.0];
+        let nodes = build(3, 1, 0, &inputs, &[], &ring);
+        let run = run_rounds(nodes, &mut SilentRushing, 2);
+        assert_eq!(run.outputs[0], Some(1.0));
+        assert_eq!(run.outputs[2], Some(3.0));
+    }
+}

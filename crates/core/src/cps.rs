@@ -1,0 +1,460 @@
+//! Crusader Pulse Synchronization (Figure 3 of the paper): the main
+//! algorithm, tolerating `f = ⌈n/2⌉ − 1` Byzantine faults with skew
+//! `S ∈ Θ(u + (θ−1)d)`.
+//!
+//! Each node, per round `r`:
+//!
+//! 1. generates its pulse and simultaneously participates in `n` instances
+//!    of [Timed Crusader Broadcast](crate::tcb), one per dealer;
+//! 2. converts each accepted instance's reception time `h_{v,u}` into an
+//!    offset estimate `Δ_{v,u} = h_{v,u} − H_v(p_v^r) − d + u − S` (and
+//!    `⊥` for rejected instances);
+//! 3. applies the approximate-agreement discard rule (sort, drop `f − b`
+//!    from each end, take the midpoint — see [`crate::midpoint`](mod@crate::midpoint));
+//! 4. schedules pulse `r + 1` at local time `H_v(p_v^r) + Δ + T`.
+
+use std::collections::HashMap;
+
+use crusader_crypto::NodeId;
+use crusader_sim::{Automaton, Context, TimerId};
+use crusader_time::{Dur, LocalTime};
+
+use crate::messages::{pulse_sign_bytes, Carry};
+use crate::midpoint;
+use crate::params::{Derived, ParamError, Params};
+use crate::tcb::{DirectOutcome, TcbDecision, TcbInstance, TcbWindows};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TimerKind {
+    /// Initial wait until local time `S` (Figure 3's first line).
+    Start,
+    /// Time to broadcast our own `⟨r⟩_v` (round-tagged).
+    SendOwn { round: u64 },
+    /// Acceptance deadline for all instances of a round.
+    AcceptDeadline { round: u64 },
+    /// Finalize the decision for `dealer`'s instance.
+    Decide { round: u64, dealer: usize },
+    /// Generate the next pulse.
+    NextPulse,
+}
+
+/// The Crusader Pulse Synchronization automaton for one node.
+///
+/// Runs under any [`Context`] implementation (the discrete-event simulator
+/// or the wall-clock runtime).
+///
+/// # Example
+///
+/// ```
+/// use crusader_core::{CpsNode, Params};
+/// use crusader_crypto::NodeId;
+/// use crusader_time::Dur;
+///
+/// let params = Params::max_resilience(
+///     4,
+///     Dur::from_millis(1.0),
+///     Dur::from_micros(10.0),
+///     1.0001,
+/// );
+/// let node = CpsNode::from_params(NodeId::new(0), &params)?;
+/// assert_eq!(node.round(), 0); // not started yet
+/// # Ok::<(), crusader_core::ParamError>(())
+/// ```
+#[derive(Debug)]
+pub struct CpsNode {
+    me: NodeId,
+    params: Params,
+    derived: Derived,
+    windows: TcbWindows,
+    /// Current round; 0 before the first pulse.
+    round: u64,
+    pulse_local: LocalTime,
+    instances: Vec<TcbInstance>,
+    undecided: usize,
+    next_scheduled: bool,
+    timers: HashMap<TimerId, TimerKind>,
+    /// Diagnostic: the Δ corrections applied so far.
+    corrections: Vec<Dur>,
+}
+
+impl CpsNode {
+    /// Creates a node from pre-derived parameters.
+    #[must_use]
+    pub fn new(me: NodeId, params: Params, derived: Derived) -> Self {
+        let windows = TcbWindows::from_params(&params, &derived);
+        CpsNode {
+            me,
+            params,
+            derived,
+            windows,
+            round: 0,
+            pulse_local: LocalTime::ZERO,
+            instances: Vec::new(),
+            undecided: 0,
+            next_scheduled: false,
+            timers: HashMap::new(),
+            corrections: Vec::new(),
+        }
+    }
+
+    /// Creates a node, deriving the protocol quantities of Theorem 17.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParamError`] for infeasible parameters.
+    pub fn from_params(me: NodeId, params: &Params) -> Result<Self, ParamError> {
+        Ok(Self::new(me, *params, params.derive()?))
+    }
+
+    /// Creates a node with custom TCB windows (ablation experiments).
+    #[must_use]
+    pub fn with_windows(me: NodeId, params: Params, derived: Derived, windows: TcbWindows) -> Self {
+        let mut node = Self::new(me, params, derived);
+        node.windows = windows;
+        node
+    }
+
+    /// Current round (0 before the first pulse).
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The midpoint corrections `Δ^r_v` applied so far.
+    #[must_use]
+    pub fn corrections(&self) -> &[Dur] {
+        &self.corrections
+    }
+
+    /// The derived protocol quantities in use.
+    #[must_use]
+    pub fn derived(&self) -> &Derived {
+        &self.derived
+    }
+
+    fn start_round(&mut self, ctx: &mut dyn Context<Carry>) {
+        self.round += 1;
+        self.pulse_local = ctx.local_time();
+        ctx.pulse(self.round);
+        self.instances = (0..self.params.n)
+            .map(|_| TcbInstance::new(self.pulse_local))
+            .collect();
+        self.undecided = self.params.n;
+        self.next_scheduled = false;
+        let send_at = self.pulse_local + self.windows.send_offset;
+        let id = ctx.set_timer_at(send_at);
+        self.timers.insert(id, TimerKind::SendOwn { round: self.round });
+        // One shared acceptance deadline (identical for every dealer);
+        // 2·eps past the window so that an eps-tolerated acceptance at the
+        // boundary is never raced by its own deadline.
+        let deadline = self.pulse_local + self.windows.accept_window + self.windows.eps * 2.0;
+        let id = ctx.set_timer_at(deadline);
+        self.timers
+            .insert(id, TimerKind::AcceptDeadline { round: self.round });
+    }
+
+    fn check_completion(&mut self, ctx: &mut dyn Context<Carry>) {
+        if self.undecided > 0 || self.next_scheduled || self.round == 0 {
+            return;
+        }
+        self.next_scheduled = true;
+        let mut estimates = Vec::with_capacity(self.params.n);
+        let mut bots = 0usize;
+        for inst in &self.instances {
+            match inst.decision() {
+                Some(TcbDecision::Accepted(h)) => {
+                    // Δ_{v,u} = h − H_v(p_v^r) − d + u − S.
+                    let delta =
+                        (h - self.pulse_local) - self.params.d + self.params.u - self.derived.s;
+                    estimates.push(delta);
+                }
+                Some(TcbDecision::Bot) => bots += 1,
+                None => unreachable!("undecided instance at completion"),
+            }
+        }
+        let correction = match midpoint::midpoint(&estimates, self.params.f, bots) {
+            Some(delta) => delta,
+            None => {
+                // More ⊥ than the fault budget explains: the fault
+                // assumption is violated. Free-run (Δ = 0) and report.
+                ctx.mark_violation(format!(
+                    "round {}: {} ⊥ outputs exceed budget f={} (n={})",
+                    self.round, bots, self.params.f, self.params.n
+                ));
+                Dur::ZERO
+            }
+        };
+        self.corrections.push(correction);
+        let target = self.pulse_local + correction + self.derived.t_nominal;
+        if target <= ctx.local_time() {
+            ctx.mark_violation(format!(
+                "round {}: next pulse target {target} not after now {}",
+                self.round,
+                ctx.local_time()
+            ));
+        }
+        let id = ctx.set_timer_at(target);
+        self.timers.insert(id, TimerKind::NextPulse);
+    }
+}
+
+impl Automaton for CpsNode {
+    type Msg = Carry;
+
+    fn on_init(&mut self, ctx: &mut dyn Context<Carry>) {
+        // "Wait until local time S." — requires H_v(0) ∈ [0, S].
+        let id = ctx.set_timer_at(LocalTime::ZERO + self.derived.s);
+        self.timers.insert(id, TimerKind::Start);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Carry, ctx: &mut dyn Context<Carry>) {
+        if self.round == 0 || msg.round != self.round {
+            // Early (pre-pulse) or stale: outside every window by
+            // construction — see module docs of `tcb`.
+            return;
+        }
+        if msg.dealer.index() >= self.params.n || !msg.verify(ctx.verifier()) {
+            return;
+        }
+        let h = ctx.local_time();
+        let dealer = msg.dealer.index();
+        if from == msg.dealer {
+            match self.instances[dealer].on_direct(h, &self.windows) {
+                DirectOutcome::Accepted { decide_at } => {
+                    // Forward ⟨r⟩_u to all nodes at time h (Figure 2).
+                    ctx.broadcast(msg.clone());
+                    match decide_at {
+                        Some(at) => {
+                            let id = ctx.set_timer_at(at);
+                            self.timers.insert(
+                                id,
+                                TimerKind::Decide {
+                                    round: self.round,
+                                    dealer,
+                                },
+                            );
+                        }
+                        None => {
+                            // An earlier echo already forced ⊥.
+                            self.undecided -= 1;
+                            self.check_completion(ctx);
+                        }
+                    }
+                }
+                DirectOutcome::Ignored => {}
+            }
+        } else if self.instances[dealer].on_echo(h, &self.windows) {
+            self.undecided -= 1;
+            self.check_completion(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<Carry>) {
+        let Some(kind) = self.timers.remove(&timer) else {
+            return; // stale timer from a superseded round
+        };
+        match kind {
+            TimerKind::Start | TimerKind::NextPulse => self.start_round(ctx),
+            TimerKind::SendOwn { round } => {
+                if round != self.round {
+                    return;
+                }
+                let bytes = pulse_sign_bytes(round, self.me);
+                let signature = ctx.signer().sign(&bytes);
+                ctx.broadcast(Carry {
+                    round,
+                    dealer: self.me,
+                    signature,
+                });
+            }
+            TimerKind::AcceptDeadline { round } => {
+                if round != self.round {
+                    return;
+                }
+                for i in 0..self.instances.len() {
+                    if self.instances[i].on_accept_deadline() {
+                        self.undecided -= 1;
+                    }
+                }
+                self.check_completion(ctx);
+            }
+            TimerKind::Decide { round, dealer } => {
+                if round != self.round {
+                    return;
+                }
+                if self.instances[dealer].on_decide_timer().is_some() {
+                    self.undecided -= 1;
+                    self.check_completion(ctx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crusader_sim::metrics::pulse_stats;
+    use crusader_sim::{DelayModel, SilentAdversary, SimBuilder};
+    use crusader_time::drift::DriftModel;
+    use crusader_time::Time;
+
+    use super::*;
+
+    fn params(n: usize) -> Params {
+        Params::max_resilience(n, Dur::from_millis(1.0), Dur::from_micros(10.0), 1.0001)
+    }
+
+    fn run_cps(
+        n: usize,
+        faulty: Vec<usize>,
+        delays: DelayModel,
+        drift: DriftModel,
+        pulses: u64,
+        seed: u64,
+    ) -> (crusader_sim::Trace, Params, Derived) {
+        let p = params(n);
+        let derived = p.derive().unwrap();
+        let trace = SimBuilder::new(n)
+            .faulty(faulty)
+            .link(p.d, p.u)
+            .delays(delays)
+            .drift(drift, p.theta, derived.s)
+            .seed(seed)
+            .horizon(Time::from_secs(60.0))
+            .max_pulses(pulses)
+            .build(
+                |me| CpsNode::new(me, p, derived),
+                Box::new(SilentAdversary),
+            )
+            .run();
+        (trace, p, derived)
+    }
+
+    #[test]
+    fn fault_free_liveness_and_skew() {
+        let (trace, p, derived) =
+            run_cps(4, vec![], DelayModel::Random, DriftModel::OffsetsOnly, 10, 1);
+        let honest: Vec<NodeId> = NodeId::all(p.n).collect();
+        let stats = pulse_stats(&trace, &honest);
+        assert_eq!(stats.complete_pulses, 10);
+        assert!(trace.violations.is_empty(), "{:?}", trace.violations);
+        assert!(
+            stats.max_skew <= derived.s,
+            "skew {} exceeds S {}",
+            stats.max_skew,
+            derived.s
+        );
+    }
+
+    #[test]
+    fn skew_contracts_from_initial_offset() {
+        // Start at nearly full initial offset S; after convergence the
+        // skew must be well below S.
+        let (trace, p, derived) = run_cps(
+            4,
+            vec![],
+            DelayModel::Random,
+            DriftModel::OffsetsOnly,
+            12,
+            3,
+        );
+        let honest: Vec<NodeId> = NodeId::all(p.n).collect();
+        let stats = pulse_stats(&trace, &honest);
+        let early = stats.skews[0];
+        let late = stats.skews[stats.skews.len() - 1];
+        assert!(
+            late < early / 2.0,
+            "no contraction: first {early}, last {late} (S = {})",
+            derived.s
+        );
+    }
+
+    #[test]
+    fn tolerates_max_silent_faults() {
+        // n = 5, f = 2 silent faulty nodes.
+        let (trace, p, derived) = run_cps(
+            5,
+            vec![3, 4],
+            DelayModel::Extremal,
+            DriftModel::ExtremalSplit,
+            10,
+            7,
+        );
+        let honest: Vec<NodeId> = NodeId::all(p.n).filter(|v| v.index() < 3).collect();
+        let stats = pulse_stats(&trace, &honest);
+        assert_eq!(stats.complete_pulses, 10);
+        assert!(
+            stats.max_skew <= derived.s,
+            "skew {} exceeds S {}",
+            stats.max_skew,
+            derived.s
+        );
+        assert!(trace.violations.is_empty(), "{:?}", trace.violations);
+    }
+
+    #[test]
+    fn periods_within_theorem_17_bounds() {
+        let (trace, p, derived) = run_cps(
+            4,
+            vec![],
+            DelayModel::Extremal,
+            DriftModel::ExtremalSplit,
+            8,
+            11,
+        );
+        let honest: Vec<NodeId> = NodeId::all(p.n).collect();
+        let stats = pulse_stats(&trace, &honest);
+        let tol = Dur::from_nanos(1.0);
+        assert!(
+            stats.min_period + tol >= derived.p_min,
+            "Pmin {} below bound {}",
+            stats.min_period,
+            derived.p_min
+        );
+        assert!(
+            stats.max_period <= derived.p_max + tol,
+            "Pmax {} above bound {}",
+            stats.max_period,
+            derived.p_max
+        );
+    }
+
+    #[test]
+    fn worst_case_drift_and_delays_stay_within_s() {
+        let (trace, _p, derived) = run_cps(
+            8,
+            vec![5, 6, 7],
+            DelayModel::Tilted,
+            DriftModel::ExtremalSplit,
+            12,
+            13,
+        );
+        let honest: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+        let stats = pulse_stats(&trace, &honest);
+        assert_eq!(stats.complete_pulses, 12);
+        assert!(
+            stats.max_skew <= derived.s,
+            "skew {} exceeds S {}",
+            stats.max_skew,
+            derived.s
+        );
+    }
+
+    #[test]
+    fn node_accessors() {
+        let p = params(4);
+        let node = CpsNode::from_params(NodeId::new(0), &p).unwrap();
+        assert_eq!(node.round(), 0);
+        assert!(node.corrections().is_empty());
+        assert_eq!(node.derived().s, p.derive().unwrap().s);
+    }
+
+    #[test]
+    fn infeasible_params_propagate() {
+        let p = Params {
+            theta: 1.5,
+            ..params(4)
+        };
+        assert!(CpsNode::from_params(NodeId::new(0), &p).is_err());
+    }
+}

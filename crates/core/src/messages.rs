@@ -1,0 +1,114 @@
+//! Wire messages of the crusader pulse-synchronization protocol.
+
+use bytes::Bytes;
+use crusader_crypto::{CarriesSignatures, NodeId, Signature, SignedClaim};
+
+/// Domain-separation tag for pulse signatures (prevents cross-protocol
+/// signature reuse).
+pub const PULSE_DOMAIN: &[u8] = b"crusader/cps/pulse/v1";
+
+/// The exact bytes a dealer signs for round `round`: the paper's `⟨r⟩_u`.
+///
+/// Encoding the round number means faulty nodes cannot replay "old"
+/// signatures to disrupt a later instance (Figure 2's caption).
+#[must_use]
+pub fn pulse_sign_bytes(round: u64, dealer: NodeId) -> Bytes {
+    let mut buf = Vec::with_capacity(PULSE_DOMAIN.len() + 10);
+    buf.extend_from_slice(PULSE_DOMAIN);
+    buf.extend_from_slice(&round.to_le_bytes());
+    buf.extend_from_slice(&(dealer.index() as u16).to_le_bytes());
+    Bytes::from(buf)
+}
+
+/// The single message type of CPS/TCB: a carried pulse signature `⟨r⟩_u`.
+///
+/// Whether a `Carry` acts as the dealer's broadcast or as an echo is
+/// determined by the *channel*: a `Carry` received from `dealer` itself is
+/// the direct message; from anyone else it is an echo. This mirrors
+/// Figure 2, where both steps transmit the same signature `⟨r⟩_u`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Carry {
+    /// Round (pulse) number `r ≥ 1`.
+    pub round: u64,
+    /// The dealer `u` whose signature is carried.
+    pub dealer: NodeId,
+    /// The dealer's signature on [`pulse_sign_bytes`]`(round, dealer)`.
+    pub signature: Signature,
+}
+
+impl Carry {
+    /// Verifies the carried signature against the PKI.
+    #[must_use]
+    pub fn verify(&self, verifier: &dyn crusader_crypto::Verifier) -> bool {
+        verifier.verify(
+            self.dealer,
+            &pulse_sign_bytes(self.round, self.dealer),
+            &self.signature,
+        )
+    }
+}
+
+impl CarriesSignatures for Carry {
+    fn claims(&self) -> Vec<SignedClaim> {
+        vec![SignedClaim::new(
+            self.dealer,
+            pulse_sign_bytes(self.round, self.dealer),
+            self.signature.clone(),
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crusader_crypto::KeyRing;
+
+    #[test]
+    fn sign_bytes_are_unique_per_round_and_dealer() {
+        let a = pulse_sign_bytes(1, NodeId::new(0));
+        let b = pulse_sign_bytes(2, NodeId::new(0));
+        let c = pulse_sign_bytes(1, NodeId::new(1));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn carry_verifies_honest_signature() {
+        let ring = KeyRing::symbolic(3, 1);
+        let dealer = NodeId::new(1);
+        let carry = Carry {
+            round: 7,
+            dealer,
+            signature: ring.signer(dealer).sign(&pulse_sign_bytes(7, dealer)),
+        };
+        assert!(carry.verify(&*ring.verifier()));
+    }
+
+    #[test]
+    fn carry_rejects_wrong_round_signature() {
+        let ring = KeyRing::symbolic(3, 1);
+        let dealer = NodeId::new(1);
+        let carry = Carry {
+            round: 8, // signature was for round 7
+            dealer,
+            signature: ring.signer(dealer).sign(&pulse_sign_bytes(7, dealer)),
+        };
+        assert!(!carry.verify(&*ring.verifier()));
+    }
+
+    #[test]
+    fn claims_expose_the_dealer_signature() {
+        let ring = KeyRing::symbolic(3, 1);
+        let dealer = NodeId::new(2);
+        let carry = Carry {
+            round: 3,
+            dealer,
+            signature: ring.signer(dealer).sign(&pulse_sign_bytes(3, dealer)),
+        };
+        let claims = carry.claims();
+        assert_eq!(claims.len(), 1);
+        assert_eq!(claims[0].signer, dealer);
+        assert_eq!(claims[0].message, pulse_sign_bytes(3, dealer));
+    }
+}

@@ -1,0 +1,195 @@
+//! The fault-tolerant interval-selection rule shared by Algorithm APA
+//! (Figure 1) and Algorithm CPS (Figure 3).
+//!
+//! Given the multiset of non-`⊥` values received via crusader broadcast and
+//! the count `b` of `⊥` outputs, discard the lowest `f − b` and highest
+//! `f − b` values; the node adopts the *midpoint* of the interval spanned by
+//! the remainder. Every received `⊥` proves its sender faulty, which is why
+//! fewer values need discarding: the `⊥`s already account for some of the
+//! `f` potential liars.
+
+use crusader_time::Dur;
+
+/// The non-empty interval spanned by the retained values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Interval {
+    /// Smallest retained value.
+    pub lo: Dur,
+    /// Largest retained value.
+    pub hi: Dur,
+}
+
+impl Interval {
+    /// The midpoint `(lo + hi) / 2`.
+    #[must_use]
+    pub fn midpoint(&self) -> Dur {
+        (self.lo + self.hi) / 2.0
+    }
+
+    /// Interval width.
+    #[must_use]
+    pub fn width(&self) -> Dur {
+        self.hi - self.lo
+    }
+
+    /// Whether `x` lies within the closed interval.
+    #[must_use]
+    pub fn contains(&self, x: Dur) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+}
+
+/// Applies the discard rule to the non-`⊥` `values` (in any order), where
+/// `f` is the resilience parameter and `bot_count` the number of `⊥`
+/// outputs observed.
+///
+/// Returns `None` when fewer than one value would remain — impossible when
+/// the model's preconditions hold (`f ≤ ⌈n/2⌉ − 1` guarantees
+/// `n − b − 2(f − b) = n − 2f + b ≥ 1`), but reachable when experiments
+/// deliberately overload the fault budget, so it is an `Option` rather
+/// than a panic.
+#[must_use]
+pub fn select_interval(values: &[Dur], f: usize, bot_count: usize) -> Option<Interval> {
+    if values.is_empty() {
+        return None;
+    }
+    let discard = f.saturating_sub(bot_count);
+    if 2 * discard >= values.len() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let retained = &sorted[discard..sorted.len() - discard];
+    Some(Interval {
+        lo: retained[0],
+        hi: *retained.last().expect("retained is non-empty"),
+    })
+}
+
+/// Convenience: the midpoint after the discard rule, i.e. the node's
+/// adjustment `Δ` in CPS or its next value in APA.
+#[must_use]
+pub fn midpoint(values: &[Dur], f: usize, bot_count: usize) -> Option<Dur> {
+    select_interval(values, f, bot_count).map(|i| i.midpoint())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn durs(vals: &[f64]) -> Vec<Dur> {
+        vals.iter().copied().map(Dur::from_secs).collect()
+    }
+
+    #[test]
+    fn no_faults_keeps_everything() {
+        let i = select_interval(&durs(&[3.0, 1.0, 2.0]), 0, 0).unwrap();
+        assert_eq!(i.lo, Dur::from_secs(1.0));
+        assert_eq!(i.hi, Dur::from_secs(3.0));
+        assert_eq!(i.midpoint(), Dur::from_secs(2.0));
+        assert_eq!(i.width(), Dur::from_secs(2.0));
+        assert!(i.contains(Dur::from_secs(1.5)));
+        assert!(!i.contains(Dur::from_secs(3.5)));
+    }
+
+    #[test]
+    fn discards_f_minus_b_each_side() {
+        // n=5, f=2, b=1: discard 1 from each side of the 4 values.
+        let i = select_interval(&durs(&[-100.0, 1.0, 2.0, 100.0]), 2, 1).unwrap();
+        assert_eq!(i.lo, Dur::from_secs(1.0));
+        assert_eq!(i.hi, Dur::from_secs(2.0));
+    }
+
+    #[test]
+    fn bots_replace_discards() {
+        // With b = f, nothing is discarded: every ⊥ identified a liar.
+        let i = select_interval(&durs(&[-100.0, 100.0]), 2, 2).unwrap();
+        assert_eq!(i.lo, Dur::from_secs(-100.0));
+        assert_eq!(i.hi, Dur::from_secs(100.0));
+        // b > f behaves like b = f.
+        let j = select_interval(&durs(&[-100.0, 100.0]), 2, 5).unwrap();
+        assert_eq!(i, j);
+    }
+
+    #[test]
+    fn outliers_cannot_widen_interval() {
+        // f=1 faulty reports an extreme value; honest range is [1, 2].
+        let honest = [1.0, 1.5, 2.0];
+        for liar in [-1e9, 1e9] {
+            let mut vals = honest.to_vec();
+            vals.push(liar);
+            let i = select_interval(&durs(&vals), 1, 0).unwrap();
+            assert!(i.lo >= Dur::from_secs(1.0), "liar {liar}");
+            assert!(i.hi <= Dur::from_secs(2.0), "liar {liar}");
+        }
+    }
+
+    #[test]
+    fn too_few_values_is_none() {
+        assert_eq!(select_interval(&durs(&[1.0, 2.0]), 1, 0), None);
+        assert_eq!(select_interval(&[], 0, 0), None);
+        assert_eq!(midpoint(&durs(&[1.0]), 1, 0), None);
+    }
+
+    #[test]
+    fn single_survivor() {
+        // 3 values, f=1, b=0: exactly one survives.
+        let m = midpoint(&durs(&[0.0, 5.0, 50.0]), 1, 0).unwrap();
+        assert_eq!(m, Dur::from_secs(5.0));
+    }
+
+    proptest! {
+        /// Validity (Theorem 9's first half): with at most `f` liars and
+        /// `b = 0`, the selected interval lies within the honest range.
+        #[test]
+        fn prop_validity(
+            honest in proptest::collection::vec(-1e3f64..1e3, 3..10),
+            liars in proptest::collection::vec(-1e6f64..1e6, 0..3),
+        ) {
+            let f = liars.len();
+            let mut all = honest.clone();
+            all.extend_from_slice(&liars);
+            prop_assume!(all.len() > 2 * f);
+            let i = select_interval(&durs(&all), f, 0).unwrap();
+            let h_min = honest.iter().cloned().fold(f64::MAX, f64::min);
+            let h_max = honest.iter().cloned().fold(f64::MIN, f64::max);
+            prop_assert!(i.lo >= Dur::from_secs(h_min));
+            prop_assert!(i.hi <= Dur::from_secs(h_max));
+        }
+
+        /// Lemma 7 as code: replacing a ⊥ by any real value can only
+        /// shrink (or keep) the interval.
+        #[test]
+        fn prop_bot_replacement_shrinks(
+            values in proptest::collection::vec(-1e3f64..1e3, 3..10),
+            x in -1e4f64..1e4,
+            f in 1usize..3,
+        ) {
+            // Execution A: one ⊥ (so b=1) and the given values.
+            prop_assume!(values.len() > 2 * f);
+            let a = select_interval(&durs(&values), f, 1);
+            // Execution B: the ⊥ replaced by x (so b=0, one more value).
+            let mut more = values.clone();
+            more.push(x);
+            let b = select_interval(&durs(&more), f, 0);
+            if let (Some(a), Some(b)) = (a, b) {
+                prop_assert!(b.lo >= a.lo, "lo widened");
+                prop_assert!(b.hi <= a.hi, "hi widened");
+            }
+        }
+
+        /// Midpoint is permutation-invariant.
+        #[test]
+        fn prop_order_invariant(
+            mut values in proptest::collection::vec(-1e3f64..1e3, 3..8),
+            f in 0usize..2,
+        ) {
+            prop_assume!(values.len() > 2 * f);
+            let m1 = midpoint(&durs(&values), f, 0);
+            values.reverse();
+            let m2 = midpoint(&durs(&values), f, 0);
+            prop_assert_eq!(m1, m2);
+        }
+    }
+}

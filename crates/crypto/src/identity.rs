@@ -1,0 +1,87 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The identity of a node in the fully connected `n`-node system.
+///
+/// Node ids are dense indices `0..n`; channels are authenticated, so the
+/// receiver of a message always knows the `NodeId` of its sender.
+///
+/// # Example
+///
+/// ```
+/// use crusader_crypto::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_string(), "n3");
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u16::MAX` (systems that large are far
+    /// outside the fully connected regime this library targets).
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        NodeId(u16::try_from(index).expect("node index exceeds u16::MAX"))
+    }
+
+    /// Returns the dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Iterates over all node ids of an `n`-node system.
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> {
+        (0..n).map(NodeId::new)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let v = NodeId::new(12);
+        assert_eq!(v.index(), 12);
+        assert_eq!(v.to_string(), "n12");
+        assert_eq!(NodeId::from(12u16), v);
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let ids: Vec<_> = NodeId::all(3).collect();
+        assert_eq!(ids, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "u16")]
+    fn oversized_index_panics() {
+        let _ = NodeId::new(70_000);
+    }
+}

@@ -1,0 +1,251 @@
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use bytes::Bytes;
+use crusader_time::Time;
+
+use crate::{NodeId, Signature};
+
+/// A claim that `signer` signed `message`, together with the signature.
+///
+/// Protocol messages advertise the claims they carry via
+/// [`CarriesSignatures`]; the simulation engine uses them to track what the
+/// adversary has learned and to gate what it may send.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SignedClaim {
+    /// The node claimed to have produced the signature.
+    pub signer: NodeId,
+    /// The exact bytes signed.
+    pub message: Bytes,
+    /// The signature itself.
+    pub signature: Signature,
+}
+
+impl SignedClaim {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(signer: NodeId, message: impl Into<Bytes>, signature: Signature) -> Self {
+        SignedClaim {
+            signer,
+            message: message.into(),
+            signature,
+        }
+    }
+}
+
+impl fmt::Debug for SignedClaim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SignedClaim({} over {} bytes, {:?})",
+            self.signer,
+            self.message.len(),
+            self.signature
+        )
+    }
+}
+
+/// Implemented by protocol message types so the engine can see which
+/// signatures a message carries.
+///
+/// A faulty node may only send a message whose honest-signed claims it has
+/// *already received* — the paper's execution well-formedness condition.
+/// Messages that carry no signatures return an empty vector (the default).
+pub trait CarriesSignatures {
+    /// The signed claims embedded in this message.
+    fn claims(&self) -> Vec<SignedClaim> {
+        Vec::new()
+    }
+}
+
+impl CarriesSignatures for () {}
+
+/// Error returned when the adversary tries to send a message containing an
+/// honest signature it has not yet learned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KnowledgeError {
+    /// The claim the adversary did not know.
+    pub claim: SignedClaim,
+    /// The time at which the violating send was attempted.
+    pub at: Time,
+}
+
+impl fmt::Display for KnowledgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "adversary used unlearned signature of {} at {}",
+            self.claim.signer, self.at
+        )
+    }
+}
+
+impl std::error::Error for KnowledgeError {}
+
+/// Tracks which honest signatures the adversary has learned, and when.
+///
+/// The model states: *"the adversary ... needs to obtain signatures of
+/// honest nodes affecting a message it intends to send before it can
+/// generate the message"*, where "obtain" means some faulty node received a
+/// message containing the signature. This tracker is the executable form of
+/// that rule:
+///
+/// * the engine calls [`KnowledgeTracker::learn`] whenever a message is
+///   delivered to a faulty node;
+/// * the engine calls [`KnowledgeTracker::authorize`] before accepting a
+///   message injected by the adversary.
+///
+/// Claims signed by corrupted nodes are always authorized (the adversary
+/// holds their secrets).
+#[derive(Clone, Debug, Default)]
+pub struct KnowledgeTracker {
+    corrupted: BTreeSet<NodeId>,
+    learned: HashMap<SignedClaim, Time>,
+}
+
+impl KnowledgeTracker {
+    /// Creates a tracker for an execution corrupting `corrupted`.
+    #[must_use]
+    pub fn new(corrupted: BTreeSet<NodeId>) -> Self {
+        KnowledgeTracker {
+            corrupted,
+            learned: HashMap::new(),
+        }
+    }
+
+    /// Records that the adversary saw `claim` at time `at` (keeps the
+    /// earliest time if seen repeatedly).
+    pub fn learn(&mut self, claim: SignedClaim, at: Time) {
+        match self.learned.entry(claim) {
+            Entry::Occupied(mut e) => {
+                if at < *e.get() {
+                    e.insert(at);
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(at);
+            }
+        }
+    }
+
+    /// Records every claim carried by `msg`.
+    pub fn learn_all<M: CarriesSignatures>(&mut self, msg: &M, at: Time) {
+        for claim in msg.claims() {
+            self.learn(claim, at);
+        }
+    }
+
+    /// Returns `true` if the adversary knows `claim` at time `at`.
+    #[must_use]
+    pub fn knows(&self, claim: &SignedClaim, at: Time) -> bool {
+        if self.corrupted.contains(&claim.signer) {
+            return true;
+        }
+        self.learned.get(claim).is_some_and(|t| *t <= at)
+    }
+
+    /// Checks that every claim carried by `msg` is known at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unknown claim as a [`KnowledgeError`].
+    pub fn authorize<M: CarriesSignatures>(&self, msg: &M, at: Time) -> Result<(), KnowledgeError> {
+        for claim in msg.claims() {
+            if !self.knows(&claim, at) {
+                return Err(KnowledgeError { claim, at });
+            }
+        }
+        Ok(())
+    }
+
+    /// The earliest time the adversary learned `claim`, if ever.
+    #[must_use]
+    pub fn learned_at(&self, claim: &SignedClaim) -> Option<Time> {
+        self.learned.get(claim).copied()
+    }
+
+    /// Number of distinct claims learned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.learned.len()
+    }
+
+    /// Whether no claims have been learned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.learned.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KeyRing;
+
+    fn claim(ring: &KeyRing, node: usize, msg: &'static [u8]) -> SignedClaim {
+        let id = NodeId::new(node);
+        SignedClaim::new(id, msg, ring.signer(id).sign(msg))
+    }
+
+    struct Msg(Vec<SignedClaim>);
+    impl CarriesSignatures for Msg {
+        fn claims(&self) -> Vec<SignedClaim> {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn corrupted_signatures_always_known() {
+        let ring = KeyRing::symbolic(3, 0);
+        let tracker = KnowledgeTracker::new([NodeId::new(2)].into_iter().collect());
+        let c = claim(&ring, 2, b"own");
+        assert!(tracker.knows(&c, Time::ZERO));
+    }
+
+    #[test]
+    fn honest_signature_unknown_until_learned() {
+        let ring = KeyRing::symbolic(3, 0);
+        let mut tracker = KnowledgeTracker::new([NodeId::new(2)].into_iter().collect());
+        let c = claim(&ring, 0, b"pulse");
+        assert!(!tracker.knows(&c, Time::from_secs(10.0)));
+        tracker.learn(c.clone(), Time::from_secs(5.0));
+        assert!(!tracker.knows(&c, Time::from_secs(4.9)));
+        assert!(tracker.knows(&c, Time::from_secs(5.0)));
+        assert!(tracker.knows(&c, Time::from_secs(9.0)));
+        assert_eq!(tracker.learned_at(&c), Some(Time::from_secs(5.0)));
+    }
+
+    #[test]
+    fn learn_keeps_earliest_time() {
+        let ring = KeyRing::symbolic(3, 0);
+        let mut tracker = KnowledgeTracker::new(BTreeSet::new());
+        let c = claim(&ring, 0, b"m");
+        tracker.learn(c.clone(), Time::from_secs(5.0));
+        tracker.learn(c.clone(), Time::from_secs(7.0));
+        assert_eq!(tracker.learned_at(&c), Some(Time::from_secs(5.0)));
+        tracker.learn(c.clone(), Time::from_secs(3.0));
+        assert_eq!(tracker.learned_at(&c), Some(Time::from_secs(3.0)));
+    }
+
+    #[test]
+    fn authorize_rejects_unlearned() {
+        let ring = KeyRing::symbolic(3, 0);
+        let mut tracker = KnowledgeTracker::new([NodeId::new(2)].into_iter().collect());
+        let honest = claim(&ring, 1, b"h");
+        let own = claim(&ring, 2, b"o");
+        let msg = Msg(vec![own.clone(), honest.clone()]);
+        let err = tracker.authorize(&msg, Time::from_secs(1.0)).unwrap_err();
+        assert_eq!(err.claim, honest);
+        tracker.learn_all(&msg, Time::from_secs(0.5));
+        assert!(tracker.authorize(&msg, Time::from_secs(1.0)).is_ok());
+        assert_eq!(tracker.len(), 2);
+        assert!(!tracker.is_empty());
+    }
+
+    #[test]
+    fn empty_message_always_authorized() {
+        let tracker = KnowledgeTracker::new(BTreeSet::new());
+        assert!(tracker.authorize(&(), Time::ZERO).is_ok());
+    }
+}

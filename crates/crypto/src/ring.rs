@@ -1,0 +1,216 @@
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::{Ed25519Scheme, NodeId, Signature, Signer, SymbolicScheme, Verifier};
+
+#[derive(Debug)]
+enum Scheme {
+    Symbolic(SymbolicScheme),
+    Ed25519(Ed25519Scheme),
+}
+
+/// The established PKI of an `n`-node system, wrapping one of the two
+/// signature schemes.
+///
+/// A `KeyRing` hands out per-node [`Signer`] capabilities and a shared
+/// [`Verifier`]. Cloning is cheap (`Arc` internally).
+///
+/// # Example
+///
+/// ```
+/// use crusader_crypto::{KeyRing, NodeId};
+///
+/// let ring = KeyRing::ed25519(3, 42);
+/// let sig = ring.signer(NodeId::new(1)).sign(b"round 5");
+/// assert!(ring.verifier().verify(NodeId::new(1), b"round 5", &sig));
+/// ```
+#[derive(Clone, Debug)]
+pub struct KeyRing {
+    scheme: Arc<Scheme>,
+    n: usize,
+}
+
+impl KeyRing {
+    /// Creates a symbolic (ideal-model) PKI for `n` nodes.
+    #[must_use]
+    pub fn symbolic(n: usize, seed: u64) -> Self {
+        KeyRing {
+            scheme: Arc::new(Scheme::Symbolic(SymbolicScheme::new(n, seed))),
+            n,
+        }
+    }
+
+    /// Creates a real ed25519 PKI for `n` nodes.
+    #[must_use]
+    pub fn ed25519(n: usize, seed: u64) -> Self {
+        KeyRing {
+            scheme: Arc::new(Scheme::Ed25519(Ed25519Scheme::new(n, seed))),
+            n,
+        }
+    }
+
+    /// Number of nodes in the PKI.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Returns the signing capability of a single node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the PKI.
+    #[must_use]
+    pub fn signer(&self, node: NodeId) -> Arc<dyn Signer> {
+        assert!(node.index() < self.n, "unknown node {node}");
+        Arc::new(NodeSigner {
+            ring: self.clone(),
+            node,
+        })
+    }
+
+    /// Returns a signer scoped to `corrupted`, for handing to adversary
+    /// code: it can sign as any corrupted node but panics if asked to sign
+    /// as an honest one. This is the code-level enforcement of "the
+    /// adversary may use corrupted nodes' secrets" — and only those.
+    #[must_use]
+    pub fn restricted_signer(&self, corrupted: BTreeSet<NodeId>) -> RestrictedSigner {
+        RestrictedSigner {
+            ring: self.clone(),
+            corrupted,
+        }
+    }
+
+    /// Returns the shared verification capability.
+    #[must_use]
+    pub fn verifier(&self) -> Arc<dyn Verifier> {
+        Arc::new(RingVerifier { ring: self.clone() })
+    }
+
+    fn sign_raw(&self, node: NodeId, msg: &[u8]) -> Signature {
+        match &*self.scheme {
+            Scheme::Symbolic(s) => s.sign(node, msg),
+            Scheme::Ed25519(s) => s.sign(node, msg),
+        }
+    }
+
+    fn verify_raw(&self, signer: NodeId, msg: &[u8], sig: &Signature) -> bool {
+        if signer.index() >= self.n {
+            return false;
+        }
+        match &*self.scheme {
+            Scheme::Symbolic(s) => s.verify(signer, msg, sig),
+            Scheme::Ed25519(s) => s.verify(signer, msg, sig),
+        }
+    }
+}
+
+struct NodeSigner {
+    ring: KeyRing,
+    node: NodeId,
+}
+
+impl Signer for NodeSigner {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn sign(&self, msg: &[u8]) -> Signature {
+        self.ring.sign_raw(self.node, msg)
+    }
+}
+
+struct RingVerifier {
+    ring: KeyRing,
+}
+
+impl Verifier for RingVerifier {
+    fn verify(&self, signer: NodeId, msg: &[u8], sig: &Signature) -> bool {
+        self.ring.verify_raw(signer, msg, sig)
+    }
+}
+
+/// A signer restricted to a set of corrupted nodes.
+///
+/// Handed to adversary implementations so they can produce signatures for
+/// the nodes they control — and *only* those.
+#[derive(Clone, Debug)]
+pub struct RestrictedSigner {
+    ring: KeyRing,
+    corrupted: BTreeSet<NodeId>,
+}
+
+impl RestrictedSigner {
+    /// Signs `msg` as the corrupted node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not in the corrupted set — adversary code has no
+    /// business holding honest secrets.
+    #[must_use]
+    pub fn sign_as(&self, node: NodeId, msg: &[u8]) -> Signature {
+        assert!(
+            self.corrupted.contains(&node),
+            "adversary attempted to sign as honest node {node}"
+        );
+        self.ring.sign_raw(node, msg)
+    }
+
+    /// The corrupted nodes this signer can sign for.
+    #[must_use]
+    pub fn corrupted(&self) -> &BTreeSet<NodeId> {
+        &self.corrupted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signer_reports_identity() {
+        let ring = KeyRing::symbolic(3, 0);
+        assert_eq!(ring.signer(NodeId::new(1)).node(), NodeId::new(1));
+        assert_eq!(ring.n(), 3);
+    }
+
+    #[test]
+    fn both_schemes_roundtrip() {
+        for ring in [KeyRing::symbolic(3, 5), KeyRing::ed25519(3, 5)] {
+            let sig = ring.signer(NodeId::new(0)).sign(b"m");
+            assert!(ring.verifier().verify(NodeId::new(0), b"m", &sig));
+            assert!(!ring.verifier().verify(NodeId::new(2), b"m", &sig));
+        }
+    }
+
+    #[test]
+    fn verify_unknown_node_is_false_not_panic() {
+        let ring = KeyRing::symbolic(3, 5);
+        let sig = ring.signer(NodeId::new(0)).sign(b"m");
+        assert!(!ring.verifier().verify(NodeId::new(17), b"m", &sig));
+    }
+
+    #[test]
+    fn restricted_signer_signs_corrupted() {
+        let ring = KeyRing::symbolic(4, 5);
+        let adv = ring.restricted_signer([NodeId::new(3)].into_iter().collect());
+        let sig = adv.sign_as(NodeId::new(3), b"evil");
+        assert!(ring.verifier().verify(NodeId::new(3), b"evil", &sig));
+        assert_eq!(adv.corrupted().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "honest node")]
+    fn restricted_signer_refuses_honest() {
+        let ring = KeyRing::symbolic(4, 5);
+        let adv = ring.restricted_signer([NodeId::new(3)].into_iter().collect());
+        let _ = adv.sign_as(NodeId::new(0), b"forgery");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn signer_for_unknown_node_panics() {
+        let ring = KeyRing::symbolic(2, 5);
+        let _ = ring.signer(NodeId::new(9));
+    }
+}

@@ -1,0 +1,164 @@
+use crate::{NodeId, Signature};
+
+/// A symbolic, ideal-model signature scheme.
+///
+/// Each node's "secret key" is a 64-bit salt derived from the scheme seed;
+/// a signature on `msg` is the keyed hash `fnv1a(salt_v ‖ msg)`. Within the
+/// simulation this is unforgeable in the Dolev–Yao sense: adversary code
+/// never holds honest salts (it only receives a
+/// [`RestrictedSigner`](crate::RestrictedSigner) for the corrupted set), so
+/// the only way for it to present a valid honest signature is to replay one
+/// it received — which the engine gates through the
+/// [`KnowledgeTracker`](crate::KnowledgeTracker).
+///
+/// This mirrors how the paper treats signatures: as ideal objects whose
+/// only relevant property is that they cannot be created without the secret
+/// key, with zero computational cost. For real cryptography use
+/// [`Ed25519Scheme`](crate::Ed25519Scheme).
+#[derive(Clone, Debug)]
+pub struct SymbolicScheme {
+    salts: Vec<u64>,
+}
+
+impl SymbolicScheme {
+    /// Creates a scheme for `n` nodes, deriving per-node salts from `seed`.
+    #[must_use]
+    pub fn new(n: usize, seed: u64) -> Self {
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let salts = (0..n)
+            .map(|_| {
+                state = splitmix64(state);
+                state
+            })
+            .collect();
+        SymbolicScheme { salts }
+    }
+
+    /// Number of nodes in the PKI.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.salts.len()
+    }
+
+    /// Signs `msg` as `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the PKI.
+    #[must_use]
+    pub fn sign(&self, node: NodeId, msg: &[u8]) -> Signature {
+        Signature::Symbolic(self.tag(node, msg))
+    }
+
+    /// Verifies a signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signer` is outside the PKI.
+    #[must_use]
+    pub fn verify(&self, signer: NodeId, msg: &[u8], sig: &Signature) -> bool {
+        match sig {
+            Signature::Symbolic(tag) => *tag == self.tag(signer, msg),
+            Signature::Ed25519(_) => false,
+        }
+    }
+
+    fn tag(&self, node: NodeId, msg: &[u8]) -> u64 {
+        let salt = self.salts[node.index()];
+        fnv1a64(salt, msg)
+    }
+}
+
+/// SplitMix64 step, used to derive independent salts from one seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a salt and a message. Not cryptographic — it does not need
+/// to be, since salts never leave the scheme.
+fn fnv1a64(salt: u64, msg: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ salt.rotate_left(17);
+    for chunk in salt.to_le_bytes().iter().chain(msg) {
+        hash ^= u64::from(*chunk);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let s = SymbolicScheme::new(4, 1);
+        let sig = s.sign(NodeId::new(0), b"hello");
+        assert!(s.verify(NodeId::new(0), b"hello", &sig));
+    }
+
+    #[test]
+    fn wrong_signer_rejected() {
+        let s = SymbolicScheme::new(4, 1);
+        let sig = s.sign(NodeId::new(0), b"hello");
+        assert!(!s.verify(NodeId::new(1), b"hello", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let s = SymbolicScheme::new(4, 1);
+        let sig = s.sign(NodeId::new(0), b"hello");
+        assert!(!s.verify(NodeId::new(0), b"hellp", &sig));
+    }
+
+    #[test]
+    fn cross_scheme_signature_rejected() {
+        let s = SymbolicScheme::new(4, 1);
+        let other = SymbolicScheme::new(4, 2);
+        let sig = other.sign(NodeId::new(0), b"hello");
+        assert!(!s.verify(NodeId::new(0), b"hello", &sig));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = SymbolicScheme::new(4, 9);
+        let b = SymbolicScheme::new(4, 9);
+        assert_eq!(a.sign(NodeId::new(3), b"x"), b.sign(NodeId::new(3), b"x"));
+    }
+
+    #[test]
+    fn salts_differ_between_nodes() {
+        let s = SymbolicScheme::new(16, 5);
+        let sigs: std::collections::HashSet<_> = (0..16)
+            .map(|i| s.sign(NodeId::new(i), b"same message"))
+            .collect();
+        assert_eq!(sigs.len(), 16);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(msg in proptest::collection::vec(any::<u8>(), 0..64), node in 0usize..8) {
+            let s = SymbolicScheme::new(8, 123);
+            let sig = s.sign(NodeId::new(node), &msg);
+            prop_assert!(s.verify(NodeId::new(node), &msg, &sig));
+        }
+
+        #[test]
+        fn prop_flipped_byte_rejected(
+            msg in proptest::collection::vec(any::<u8>(), 1..64),
+            idx in 0usize..64,
+            node in 0usize..8,
+        ) {
+            let s = SymbolicScheme::new(8, 123);
+            let sig = s.sign(NodeId::new(node), &msg);
+            let mut tampered = msg.clone();
+            let i = idx % tampered.len();
+            tampered[i] ^= 0x01;
+            prop_assert!(!s.verify(NodeId::new(node), &tampered, &sig));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Integration: Theorem 5's construction is tight against CPS — the
+//! forced skew does not just exceed 2ũ/3, it lands (essentially) on it,
+//! matching the Θ(ũ) upper bound of Theorem 17.
+
+use crusader_core::{CpsNode, Params};
+use crusader_lowerbound::{evaluate, TriConfig, TriSim};
+use crusader_time::Dur;
+
+#[test]
+fn forced_skew_is_essentially_two_thirds_u_tilde() {
+    for (u_us, theta) in [(100.0, 1.005), (200.0, 1.05), (400.0, 1.02)] {
+        let cfg = TriConfig {
+            d: Dur::from_millis(1.0),
+            u_tilde: Dur::from_micros(u_us),
+            theta,
+            max_pulses: 40,
+            horizon: Dur::from_secs(20.0),
+        };
+        let params = Params::max_resilience(3, cfg.d, cfg.u_tilde, cfg.theta);
+        let derived = params.derive().unwrap();
+        let trace = TriSim::new(cfg, |me| CpsNode::new(me, params, derived)).run();
+        assert!(
+            trace.well_formedness_violations.is_empty(),
+            "u={u_us} theta={theta}: {:?}",
+            &trace.well_formedness_violations[..trace.well_formedness_violations.len().min(3)]
+        );
+        let report = evaluate(&trace, &cfg).expect("measurement pulse");
+        assert!(report.holds, "u={u_us}: {} < {}", report.max_skew, report.bound);
+        // Tightness: within 25% above the bound (CPS is optimal).
+        assert!(
+            report.max_skew <= report.bound * 1.25,
+            "u={u_us}: forced skew {} far above bound {}",
+            report.max_skew,
+            report.bound
+        );
+    }
+}

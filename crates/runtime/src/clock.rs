@@ -1,0 +1,89 @@
+use std::time::Instant;
+
+use crusader_time::{Dur, LocalTime};
+
+/// An emulated drifting hardware clock over the host's monotonic clock:
+/// `H(t) = offset + rate · (t − start)`.
+///
+/// The wall-clock runtime uses these to reproduce the model's clock-drift
+/// assumption on real hardware whose TSC is (at our timescales) perfectly
+/// disciplined. `rate ∈ [1, θ]` and `offset ∈ [0, S]` as in the model.
+#[derive(Clone, Debug)]
+pub struct EmulatedClock {
+    start: Instant,
+    offset: Dur,
+    rate: f64,
+}
+
+impl EmulatedClock {
+    /// Creates a clock anchored at `start` (usually the harness epoch).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate > 0`.
+    #[must_use]
+    pub fn new(start: Instant, offset: Dur, rate: f64) -> Self {
+        assert!(rate > 0.0, "clock rate must be positive");
+        EmulatedClock {
+            start,
+            offset,
+            rate,
+        }
+    }
+
+    /// Reads the clock at host instant `now`.
+    #[must_use]
+    pub fn read(&self, now: Instant) -> LocalTime {
+        let elapsed = now.saturating_duration_since(self.start).as_secs_f64();
+        LocalTime::ZERO + self.offset + Dur::from_secs(elapsed * self.rate)
+    }
+
+    /// The host instant at which the clock reads `at` (clamped to
+    /// `start` for pre-epoch readings).
+    #[must_use]
+    pub fn when(&self, at: LocalTime) -> Instant {
+        let local_span = (at - (LocalTime::ZERO + self.offset)).as_secs();
+        let real_span = (local_span / self.rate).max(0.0);
+        self.start + std::time::Duration::from_secs_f64(real_span)
+    }
+
+    /// The emulated rate.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn read_applies_offset_and_rate() {
+        let start = Instant::now();
+        let clock = EmulatedClock::new(start, Dur::from_millis(2.0), 1.5);
+        let later = start + Duration::from_millis(100);
+        let local = clock.read(later);
+        assert!((local.as_secs() - (0.002 + 0.15)).abs() < 1e-9);
+        assert_eq!(clock.rate(), 1.5);
+    }
+
+    #[test]
+    fn when_inverts_read() {
+        let start = Instant::now();
+        let clock = EmulatedClock::new(start, Dur::from_millis(1.0), 1.01);
+        let t = start + Duration::from_millis(50);
+        let back = clock.when(clock.read(t));
+        let diff = if back > t { back - t } else { t - back };
+        assert!(diff < Duration::from_micros(1));
+    }
+
+    #[test]
+    fn pre_epoch_reads_clamp() {
+        let start = Instant::now();
+        let clock = EmulatedClock::new(start, Dur::ZERO, 1.0);
+        // A target before the offset maps back to the epoch.
+        assert!(clock.when(LocalTime::ZERO) <= start + Duration::from_micros(1));
+    }
+}

@@ -1,0 +1,154 @@
+use std::sync::{Arc, Barrier, OnceLock};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use crusader_crypto::{KeyRing, NodeId};
+use crusader_sim::{Automaton, Trace};
+use crusader_time::{Dur, Time};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::clock::EmulatedClock;
+use crate::net::{NetCommand, Network, NodeEvent};
+use crate::node::node_loop;
+
+/// Configuration of a wall-clock run.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Nodes left unstarted (crash-from-start faults). For Byzantine
+    /// experiments use the deterministic simulator, which can audit the
+    /// adversary; the runtime is the deployment path.
+    pub silent: Vec<usize>,
+    /// Maximum injected link delay `d`.
+    pub d: Dur,
+    /// Injected delay uncertainty `u` (delays uniform in `[d − u, d]`).
+    /// Host scheduling jitter adds to this in practice — size `u`
+    /// accordingly (milliseconds, not microseconds, on a busy machine).
+    pub u: Dur,
+    /// Emulated clock-rate bound: rates drawn uniformly from `[1, θ]`.
+    pub theta: f64,
+    /// Emulated initial clock offsets drawn from `[0, max_offset]`.
+    pub max_offset: Dur,
+    /// How long (host time) to run before shutting down.
+    pub run_for: Duration,
+    /// RNG seed for delays, rates and offsets.
+    pub seed: u64,
+}
+
+/// The result of a wall-clock run, convertible to the simulator's
+/// [`Trace`] for reuse of the skew/period metrics.
+#[derive(Clone, Debug)]
+pub struct RuntimeReport {
+    /// Pulse instants per node, as seconds since the harness epoch.
+    pub trace: Trace,
+    /// Messages the network thread delivered.
+    pub messages_delivered: u64,
+}
+
+/// Runs `make_node`-built automatons under real threads, real (injected)
+/// delays and real ed25519 signatures.
+///
+/// The same [`Automaton`] code that runs in the simulator runs here —
+/// `CpsNode`, `LwNode`, `EchoSyncNode`, or yours.
+///
+/// # Panics
+///
+/// Panics if thread spawning fails or `n == 0`.
+pub fn run<A, F>(cfg: &RuntimeConfig, mut make_node: F) -> RuntimeReport
+where
+    A: Automaton + 'static,
+    F: FnMut(NodeId) -> A,
+{
+    assert!(cfg.n > 0, "need at least one node");
+    let ring = KeyRing::ed25519(cfg.n, cfg.seed);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x0e0e_1111);
+    // The epoch is anchored only after every node thread is running and
+    // parked at the barrier; otherwise a slow-spawning thread would start
+    // rounds late and look like a node with an out-of-model clock.
+    let active = cfg.n - cfg.silent.iter().filter(|i| **i < cfg.n).count();
+    let barrier = Arc::new(Barrier::new(active + 1));
+    let epoch_cell: Arc<OnceLock<Instant>> = Arc::new(OnceLock::new());
+
+    let mut inbox_txs = Vec::with_capacity(cfg.n);
+    let mut inbox_rxs = Vec::with_capacity(cfg.n);
+    for _ in 0..cfg.n {
+        let (tx, rx) = channel::unbounded::<NodeEvent<A::Msg>>();
+        inbox_txs.push(tx);
+        inbox_rxs.push(Some(rx));
+    }
+    let network = Network::spawn(inbox_txs.clone(), cfg.d, cfg.u, cfg.seed);
+
+    let pulse_log = Arc::new(Mutex::new(vec![Vec::new(); cfg.n]));
+    let violations = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for i in 0..cfg.n {
+        if cfg.silent.contains(&i) {
+            continue;
+        }
+        let me = NodeId::new(i);
+        let rate = 1.0 + rng.gen::<f64>() * (cfg.theta - 1.0);
+        let offset = cfg.max_offset * rng.gen::<f64>();
+        let automaton = make_node(me);
+        let inbox = inbox_rxs[i].take().expect("inbox not yet taken");
+        let net = network.commands.clone();
+        let signer = ring.signer(me);
+        let verifier = ring.verifier();
+        let log = Arc::clone(&pulse_log);
+        let viol = Arc::clone(&violations);
+        let n = cfg.n;
+        let barrier = Arc::clone(&barrier);
+        let epoch_cell = Arc::clone(&epoch_cell);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("crusader-{me}"))
+                .spawn(move || {
+                    barrier.wait();
+                    let epoch = *epoch_cell.wait();
+                    let clock = EmulatedClock::new(epoch, offset, rate);
+                    node_loop(
+                        automaton, me, n, clock, inbox, net, signer, verifier, log, viol,
+                    );
+                })
+                .expect("spawn node thread"),
+        );
+    }
+
+    barrier.wait();
+    let epoch = Instant::now() + Duration::from_millis(5);
+    epoch_cell.set(epoch).expect("epoch set once");
+    std::thread::sleep(cfg.run_for);
+    for tx in &inbox_txs {
+        let _ = tx.send(NodeEvent::Shutdown);
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let _ = network.commands.send(NetCommand::Shutdown);
+    let messages_delivered = network.handle.join().unwrap_or(0);
+
+    // Convert to the simulator's trace for metric reuse.
+    let log = pulse_log.lock();
+    let mut trace = Trace::default();
+    trace.pulses = log
+        .iter()
+        .map(|pulses| {
+            let mut sorted: Vec<(u64, Instant)> = pulses.clone();
+            sorted.sort_by_key(|(idx, _)| *idx);
+            sorted
+                .iter()
+                .map(|(_, at)| {
+                    Time::from_secs(at.saturating_duration_since(epoch).as_secs_f64())
+                })
+                .collect()
+        })
+        .collect();
+    trace.violations = violations.lock().clone();
+    trace.messages_delivered = messages_delivered;
+    RuntimeReport {
+        trace,
+        messages_delivered,
+    }
+}

@@ -1,0 +1,150 @@
+//! Wall-clock deployment runtime for `crusader` protocols.
+//!
+//! Where `crusader-sim` is the adversarial laboratory (deterministic,
+//! model-exact, audit-enforced), this crate is the deployment path: one OS
+//! thread per node, crossbeam channels as links, a delay-injecting network
+//! thread enforcing `[d − u, d]` flight times, per-node emulated drifting
+//! clocks, and **real ed25519 signatures** (`crusader-crypto`'s
+//! `KeyRing::ed25519`).
+//!
+//! The same [`Automaton`](crusader_sim::Automaton) implementations run
+//! unchanged in both worlds; the runtime exists to demonstrate that the
+//! protocol code is genuinely runtime-agnostic and to measure end-to-end
+//! behaviour with real crypto and real threads.
+//!
+//! Host scheduling jitter is physically indistinguishable from message
+//! delay, so it effectively inflates `u`: configure millisecond-scale
+//! `d`/`u` (WAN-like), not microseconds, and treat skew numbers from this
+//! runtime as environment-dependent. All bound-checking experiments use
+//! the simulator.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use crusader_core::{CpsNode, Params};
+//! use crusader_runtime::{run, RuntimeConfig};
+//! use crusader_time::Dur;
+//!
+//! let d = Dur::from_millis(5.0);
+//! let u = Dur::from_millis(2.0);
+//! let params = Params::max_resilience(4, d, u, 1.01);
+//! let derived = params.derive().unwrap();
+//! let cfg = RuntimeConfig {
+//!     n: 4,
+//!     silent: vec![3],
+//!     d,
+//!     u,
+//!     theta: 1.01,
+//!     max_offset: derived.s,
+//!     run_for: Duration::from_millis(500),
+//!     seed: 42,
+//! };
+//! let report = run(&cfg, |me| CpsNode::new(me, params, derived));
+//! println!("delivered {} messages", report.messages_delivered);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod harness;
+mod net;
+mod node;
+
+pub use clock::EmulatedClock;
+pub use harness::{run, RuntimeConfig, RuntimeReport};
+pub use net::NodeEvent;
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use crusader_baselines::EchoSyncNode;
+    use crusader_core::{CpsNode, Params};
+    use crusader_crypto::NodeId;
+    use crusader_sim::metrics::pulse_stats;
+    use crusader_time::Dur;
+
+    use super::*;
+
+    #[test]
+    fn cps_pulses_under_real_threads() {
+        let d = Dur::from_millis(5.0);
+        let u = Dur::from_millis(2.0);
+        let params = Params::max_resilience(4, d, u, 1.01);
+        let derived = params.derive().unwrap();
+        let cfg = RuntimeConfig {
+            n: 4,
+            silent: vec![],
+            d,
+            u,
+            theta: 1.01,
+            max_offset: derived.s,
+            run_for: Duration::from_millis(700),
+            seed: 7,
+        };
+        let report = run(&cfg, |me| CpsNode::new(me, params, derived));
+        let honest: Vec<NodeId> = NodeId::all(4).collect();
+        let stats = pulse_stats(&report.trace, &honest);
+        // T ≈ a few × d: several pulses must have completed.
+        assert!(
+            stats.complete_pulses >= 3,
+            "only {} pulses: {:?}",
+            stats.complete_pulses,
+            report.trace.violations
+        );
+        // Loose sanity bound: scheduling jitter inflates u, but skew must
+        // stay well under d + S.
+        assert!(
+            stats.max_skew < d + derived.s * 2.0,
+            "skew {}",
+            stats.max_skew
+        );
+        assert!(report.messages_delivered > 0);
+    }
+
+    #[test]
+    fn cps_survives_silent_fault_live() {
+        let d = Dur::from_millis(5.0);
+        let u = Dur::from_millis(2.0);
+        let params = Params::max_resilience(4, d, u, 1.01);
+        let derived = params.derive().unwrap();
+        let cfg = RuntimeConfig {
+            n: 4,
+            silent: vec![3],
+            d,
+            u,
+            theta: 1.01,
+            max_offset: derived.s,
+            run_for: Duration::from_millis(700),
+            seed: 11,
+        };
+        let report = run(&cfg, |me| CpsNode::new(me, params, derived));
+        let honest: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let stats = pulse_stats(&report.trace, &honest);
+        assert!(stats.complete_pulses >= 3, "{:?}", report.trace.violations);
+    }
+
+    #[test]
+    fn echo_sync_runs_on_the_runtime_too() {
+        let d = Dur::from_millis(5.0);
+        let u = Dur::from_millis(2.0);
+        let cfg = RuntimeConfig {
+            n: 4,
+            silent: vec![],
+            d,
+            u,
+            theta: 1.001,
+            max_offset: Dur::from_millis(2.0),
+            run_for: Duration::from_millis(600),
+            seed: 3,
+        };
+        let report = run(&cfg, |me| {
+            EchoSyncNode::new(me, 4, 1, Dur::from_millis(50.0))
+        });
+        let honest: Vec<NodeId> = NodeId::all(4).collect();
+        let stats = pulse_stats(&report.trace, &honest);
+        assert!(stats.complete_pulses >= 2);
+    }
+}

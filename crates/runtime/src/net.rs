@@ -1,0 +1,146 @@
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use crusader_crypto::NodeId;
+use crusader_time::Dur;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What a node receives from the runtime.
+#[derive(Debug)]
+pub enum NodeEvent<M> {
+    /// A message finished its (injected) flight.
+    Deliver {
+        /// Authenticated sender.
+        from: NodeId,
+        /// Payload.
+        msg: M,
+    },
+    /// Orderly shutdown request from the harness.
+    Shutdown,
+}
+
+struct InFlight<M> {
+    deliver_at: Instant,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+impl<M> PartialEq for InFlight<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for InFlight<M> {}
+impl<M> PartialOrd for InFlight<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for InFlight<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by delivery time.
+        other
+            .deliver_at
+            .cmp(&self.deliver_at)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+pub(crate) enum NetCommand<M> {
+    Send {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    Shutdown,
+}
+
+/// The delay-injecting network thread: receives send commands, holds each
+/// message for a uniformly random `[d − u, d]`, then delivers it to the
+/// target node's channel.
+pub(crate) struct Network<M> {
+    pub commands: Sender<NetCommand<M>>,
+    pub handle: std::thread::JoinHandle<u64>,
+}
+
+impl<M: Send + 'static> Network<M> {
+    pub fn spawn(
+        node_inboxes: Vec<Sender<NodeEvent<M>>>,
+        d: Dur,
+        u: Dur,
+        seed: u64,
+    ) -> Network<M> {
+        let (tx, rx): (Sender<NetCommand<M>>, Receiver<NetCommand<M>>) = channel::unbounded();
+        let handle = std::thread::Builder::new()
+            .name("crusader-net".into())
+            .spawn(move || network_loop(rx, node_inboxes, d, u, seed))
+            .expect("spawn network thread");
+        Network {
+            commands: tx,
+            handle,
+        }
+    }
+}
+
+fn network_loop<M: Send>(
+    rx: Receiver<NetCommand<M>>,
+    inboxes: Vec<Sender<NodeEvent<M>>>,
+    d: Dur,
+    u: Dur,
+    seed: u64,
+) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7e7e_0000_0000_0001);
+    let mut heap: BinaryHeap<InFlight<M>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut delivered = 0u64;
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|m| m.deliver_at <= now) {
+            let m = heap.pop().expect("peeked");
+            // A closed inbox means that node already shut down; fine.
+            let _ = inboxes[m.to.index()].send(NodeEvent::Deliver {
+                from: m.from,
+                msg: m.msg,
+            });
+            delivered += 1;
+        }
+        // Wait for the next command or the next due delivery.
+        let result = match heap.peek() {
+            Some(m) => rx.recv_deadline(m.deliver_at),
+            None => rx
+                .recv()
+                .map_err(|_| channel::RecvTimeoutError::Disconnected),
+        };
+        match result {
+            Ok(NetCommand::Send { from, to, msg }) => {
+                let min = (d - u).as_secs().max(0.0);
+                let max = d.as_secs();
+                let delay = if max > min {
+                    rng.gen_range(min..=max)
+                } else {
+                    max
+                };
+                heap.push(InFlight {
+                    deliver_at: Instant::now() + std::time::Duration::from_secs_f64(delay),
+                    seq,
+                    from,
+                    to,
+                    msg,
+                });
+                seq += 1;
+            }
+            Ok(NetCommand::Shutdown) | Err(channel::RecvTimeoutError::Disconnected) => {
+                // Flush what is already due, then stop.
+                return delivered;
+            }
+            Err(channel::RecvTimeoutError::Timeout) => {
+                // Loop around to deliver due messages.
+            }
+        }
+    }
+}

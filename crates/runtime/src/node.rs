@@ -1,0 +1,237 @@
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crusader_crypto::{NodeId, Signer, Verifier};
+use crusader_sim::{Automaton, Context, TimerId};
+use crusader_time::LocalTime;
+use parking_lot::Mutex;
+
+use crate::clock::EmulatedClock;
+use crate::net::{NetCommand, NodeEvent};
+
+/// A pulse observation: (pulse index, host instant).
+pub(crate) type PulseLog = Arc<Mutex<Vec<Vec<(u64, Instant)>>>>;
+
+struct PendingTimer {
+    fire_local: LocalTime,
+    id: TimerId,
+}
+
+impl PartialEq for PendingTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.fire_local == other.fire_local && self.id == other.id
+    }
+}
+impl Eq for PendingTimer {}
+impl PartialOrd for PendingTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by local fire time.
+        other
+            .fire_local
+            .cmp(&self.fire_local)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+struct RtCtx<'a, M> {
+    me: NodeId,
+    n: usize,
+    now_local: LocalTime,
+    signer: &'a dyn Signer,
+    verifier: &'a dyn Verifier,
+    next_timer: &'a mut u64,
+    sends: Vec<(NodeId, M)>,
+    timers: Vec<(TimerId, LocalTime)>,
+    cancels: Vec<TimerId>,
+    pulses: Vec<u64>,
+    violations: Vec<String>,
+}
+
+impl<'a, M: Clone> Context<M> for RtCtx<'a, M> {
+    fn me(&self) -> NodeId {
+        self.me
+    }
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn local_time(&self) -> LocalTime {
+        self.now_local
+    }
+    fn send(&mut self, to: NodeId, msg: M) {
+        self.sends.push((to, msg));
+    }
+    fn broadcast(&mut self, msg: M) {
+        for to in NodeId::all(self.n) {
+            self.sends.push((to, msg.clone()));
+        }
+    }
+    fn set_timer_at(&mut self, at: LocalTime) -> TimerId {
+        let id = TimerId::new(*self.next_timer);
+        *self.next_timer += 1;
+        self.timers.push((id, at));
+        id
+    }
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.cancels.push(timer);
+    }
+    fn pulse(&mut self, index: u64) {
+        self.pulses.push(index);
+    }
+    fn signer(&self) -> &dyn Signer {
+        self.signer
+    }
+    fn verifier(&self) -> &dyn Verifier {
+        self.verifier
+    }
+    fn mark_violation(&mut self, description: String) {
+        self.violations.push(description);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn node_loop<A: Automaton>(
+    mut automaton: A,
+    me: NodeId,
+    n: usize,
+    clock: EmulatedClock,
+    inbox: Receiver<NodeEvent<A::Msg>>,
+    net: Sender<NetCommand<A::Msg>>,
+    signer: Arc<dyn Signer>,
+    verifier: Arc<dyn Verifier>,
+    pulse_log: PulseLog,
+    violations: Arc<Mutex<Vec<String>>>,
+) {
+    let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
+    let mut cancelled: HashSet<TimerId> = HashSet::new();
+    let mut next_timer_raw: u64 = (me.index() as u64) << 40; // node-unique ids
+    let run_handler = |automaton: &mut A,
+                           timers: &mut BinaryHeap<PendingTimer>,
+                           cancelled: &mut HashSet<TimerId>,
+                           next_timer_raw: &mut u64,
+                           event: Option<NodeEvent<A::Msg>>,
+                           fired: Option<TimerId>|
+     -> bool {
+        let now_local = clock.read(Instant::now());
+        let mut ctx = RtCtx {
+            me,
+            n,
+            now_local,
+            signer: &*signer,
+            verifier: &*verifier,
+            next_timer: next_timer_raw,
+            sends: Vec::new(),
+            timers: Vec::new(),
+            cancels: Vec::new(),
+            pulses: Vec::new(),
+            violations: Vec::new(),
+        };
+        match (event, fired) {
+            (Some(NodeEvent::Deliver { from, msg }), _) => {
+                automaton.on_message(from, msg, &mut ctx);
+            }
+            (Some(NodeEvent::Shutdown), _) => return false,
+            (None, Some(id)) => automaton.on_timer(id, &mut ctx),
+            (None, None) => automaton.on_init(&mut ctx),
+        }
+        let RtCtx {
+            sends,
+            timers: new_timers,
+            cancels,
+            pulses,
+            violations: new_violations,
+            ..
+        } = ctx;
+        for id in cancels {
+            cancelled.insert(id);
+        }
+        for (id, at) in new_timers {
+            timers.push(PendingTimer {
+                fire_local: at,
+                id,
+            });
+        }
+        if !pulses.is_empty() {
+            let now = Instant::now();
+            let mut log = pulse_log.lock();
+            for _idx in &pulses {
+                log[me.index()].push((*_idx, now));
+            }
+        }
+        if !new_violations.is_empty() {
+            violations.lock().extend(
+                new_violations
+                    .into_iter()
+                    .map(|v| format!("{me}: {v}")),
+            );
+        }
+        for (to, msg) in sends {
+            let _ = net.send(NetCommand::Send { from: me, to, msg });
+        }
+        true
+    };
+
+    // Init.
+    if !run_handler(
+        &mut automaton,
+        &mut timers,
+        &mut cancelled,
+        &mut next_timer_raw,
+        None,
+        None,
+    ) {
+        return;
+    }
+
+    loop {
+        // Fire all due timers.
+        let now_local = clock.read(Instant::now());
+        while timers
+            .peek()
+            .is_some_and(|t| t.fire_local <= now_local)
+        {
+            let t = timers.pop().expect("peeked");
+            if cancelled.remove(&t.id) {
+                continue;
+            }
+            if !run_handler(
+                &mut automaton,
+                &mut timers,
+                &mut cancelled,
+                &mut next_timer_raw,
+                None,
+                Some(t.id),
+            ) {
+                return;
+            }
+        }
+        // Wait for the next message or timer deadline.
+        let result = match timers.peek() {
+            Some(t) => inbox.recv_deadline(clock.when(t.fire_local)),
+            None => inbox.recv().map_err(|_| RecvTimeoutError::Disconnected),
+        };
+        match result {
+            Ok(event) => {
+                let keep_going = run_handler(
+                    &mut automaton,
+                    &mut timers,
+                    &mut cancelled,
+                    &mut next_timer_raw,
+                    Some(event),
+                    None,
+                );
+                if !keep_going {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => { /* loop fires due timers */ }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}

@@ -1,0 +1,75 @@
+use crusader_crypto::{CarriesSignatures, NodeId, Signer, Verifier};
+use crusader_time::LocalTime;
+
+pub use crate::event::TimerId;
+
+/// A protocol node as an event-driven automaton.
+///
+/// Automatons are runtime-agnostic: the same implementation runs under the
+/// discrete-event simulator ([`Sim`](crate::Sim)) and under the wall-clock
+/// thread runtime (`crusader-runtime`). All interaction with the outside
+/// world goes through the [`Context`].
+///
+/// Handlers are invoked sequentially per node; an automaton never needs
+/// interior synchronization.
+pub trait Automaton: Send {
+    /// The protocol's message type.
+    type Msg: Clone + std::fmt::Debug + CarriesSignatures + Send + 'static;
+
+    /// Called once at time 0 (before any message or timer).
+    fn on_init(&mut self, ctx: &mut dyn Context<Self::Msg>);
+
+    /// Called when a message from `from` finishes arriving. Channels are
+    /// authenticated: `from` is the true sender.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut dyn Context<Self::Msg>);
+
+    /// Called when a timer set via [`Context::set_timer_at`] fires.
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<Self::Msg>);
+}
+
+/// The world as visible to one protocol node.
+///
+/// Deliberately narrow: a node can read *its own hardware clock* (never real
+/// time), send messages, arm local-time timers, and report pulses. This is
+/// exactly the interface of the model in Section 2 of the paper.
+pub trait Context<M> {
+    /// This node's identity.
+    fn me(&self) -> NodeId;
+
+    /// System size `n`.
+    fn n(&self) -> usize;
+
+    /// Current hardware-clock reading `H_v(now)`.
+    fn local_time(&self) -> LocalTime;
+
+    /// Sends `msg` to `to`. Delivery takes between the link's minimum delay
+    /// and `d`, chosen adversarially.
+    fn send(&mut self, to: NodeId, msg: M);
+
+    /// Sends `msg` to every node, including `self.me()`.
+    fn broadcast(&mut self, msg: M);
+
+    /// Arms a timer that fires when this node's hardware clock reads `at`.
+    /// A timer armed at or before the current local time fires immediately
+    /// (at the current instant, after the present handler returns).
+    fn set_timer_at(&mut self, at: LocalTime) -> TimerId;
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a
+    /// no-op.
+    fn cancel_timer(&mut self, timer: TimerId);
+
+    /// Reports generation of pulse `index` (1-based) at the current
+    /// instant.
+    fn pulse(&mut self, index: u64);
+
+    /// This node's signing capability.
+    fn signer(&self) -> &dyn Signer;
+
+    /// The shared PKI verifier.
+    fn verifier(&self) -> &dyn Verifier;
+
+    /// Records a soft protocol violation (e.g. a deadline that could not be
+    /// met). Simulations collect these instead of panicking so resilience
+    /// experiments can observe graceful degradation.
+    fn mark_violation(&mut self, description: String);
+}

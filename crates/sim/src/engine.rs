@@ -1,0 +1,558 @@
+use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
+
+use crusader_crypto::{KeyRing, KnowledgeTracker, NodeId, RestrictedSigner, Signer, Verifier};
+use crusader_time::drift::DriftModel;
+use crusader_time::{Dur, HardwareClock, LocalTime, Time};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::adversary::{AdvEffect, Adversary, AdversaryApi};
+use crate::automaton::{Automaton, Context};
+use crate::event::{EventKind, EventQueue, TimerId};
+use crate::network::{DelayModel, LinkConfig};
+use crate::trace::Trace;
+
+/// Hard limits for a run.
+#[derive(Clone, Copy, Debug)]
+struct RunLimits {
+    horizon: Time,
+    max_pulses: Option<u64>,
+    max_events: u64,
+}
+
+/// Configures and constructs a [`Sim`].
+///
+/// # Example
+///
+/// ```no_run
+/// use crusader_sim::{SimBuilder, SilentAdversary};
+/// use crusader_time::Dur;
+///
+/// let builder = SimBuilder::new(4)
+///     .faulty([1])
+///     .link(Dur::from_millis(1.0), Dur::from_micros(100.0))
+///     .seed(7);
+/// # let _ = builder;
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimBuilder {
+    n: usize,
+    faulty: BTreeSet<NodeId>,
+    link: LinkConfig,
+    delay_model: DelayModel,
+    drift: DriftModel,
+    theta: f64,
+    max_offset: Dur,
+    clocks: Option<Vec<HardwareClock>>,
+    seed: u64,
+    horizon: Time,
+    max_pulses: Option<u64>,
+    max_events: u64,
+}
+
+impl SimBuilder {
+    /// Starts configuring a simulation of `n` nodes.
+    ///
+    /// Defaults: no faulty nodes, `d = 1 ms`, `u = 100 µs`, `ũ = u`,
+    /// random delays, perfect clocks (`θ = 1.01` for validation), horizon
+    /// 120 s, event cap 50 M.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one node");
+        SimBuilder {
+            n,
+            faulty: BTreeSet::new(),
+            link: LinkConfig::new(Dur::from_millis(1.0), Dur::from_micros(100.0)),
+            delay_model: DelayModel::Random,
+            drift: DriftModel::Perfect,
+            theta: 1.01,
+            max_offset: Dur::ZERO,
+            clocks: None,
+            seed: 0,
+            horizon: Time::from_secs(120.0),
+            max_pulses: None,
+            max_events: 50_000_000,
+        }
+    }
+
+    /// Marks nodes as faulty (controlled by the adversary).
+    #[must_use]
+    pub fn faulty(mut self, nodes: impl IntoIterator<Item = usize>) -> Self {
+        self.faulty = nodes.into_iter().map(NodeId::new).collect();
+        self
+    }
+
+    /// Sets `d` and `u` (with `ũ = u`).
+    #[must_use]
+    pub fn link(mut self, d: Dur, u: Dur) -> Self {
+        self.link = LinkConfig::new(d, u);
+        self
+    }
+
+    /// Sets the full link configuration, including `ũ`.
+    #[must_use]
+    pub fn link_config(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Sets the delay policy for honest messages.
+    #[must_use]
+    pub fn delays(mut self, model: DelayModel) -> Self {
+        self.delay_model = model;
+        self
+    }
+
+    /// Generates hardware clocks from a drift model with rate bound
+    /// `theta` and initial offsets in `[0, max_offset]`.
+    #[must_use]
+    pub fn drift(mut self, model: DriftModel, theta: f64, max_offset: Dur) -> Self {
+        self.drift = model;
+        self.theta = theta;
+        self.max_offset = max_offset;
+        self.clocks = None;
+        self
+    }
+
+    /// Uses explicit hardware clocks (validated against `theta`).
+    #[must_use]
+    pub fn clocks(mut self, clocks: Vec<HardwareClock>, theta: f64) -> Self {
+        assert_eq!(clocks.len(), self.n, "need one clock per node");
+        self.theta = theta;
+        self.clocks = Some(clocks);
+        self
+    }
+
+    /// Sets the RNG seed (delays, drift generation, tie-free determinism).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the real-time horizon after which the run stops.
+    #[must_use]
+    pub fn horizon(mut self, horizon: Time) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Stops once every honest node has emitted this many pulses.
+    #[must_use]
+    pub fn max_pulses(mut self, pulses: u64) -> Self {
+        self.max_pulses = Some(pulses);
+        self
+    }
+
+    /// Overrides the event cap (a runaway-protocol backstop).
+    #[must_use]
+    pub fn max_events(mut self, cap: u64) -> Self {
+        self.max_events = cap;
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// `make_node` constructs the automaton for each honest node;
+    /// `adversary` controls all faulty nodes and the delays (under
+    /// [`DelayModel::AdversaryChoice`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a provided clock violates the rate bounds, or a faulty id
+    /// is out of range.
+    pub fn build<A, F>(self, mut make_node: F, adversary: Box<dyn Adversary<A::Msg>>) -> Sim<A>
+    where
+        A: Automaton,
+        F: FnMut(NodeId) -> A,
+    {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xc1a5_51ca_1_u64);
+        for f in &self.faulty {
+            assert!(f.index() < self.n, "faulty node {f} out of range");
+        }
+        let clocks = match self.clocks {
+            Some(clocks) => clocks,
+            None => self
+                .drift
+                .generate(self.n, self.theta, self.max_offset, &mut rng),
+        };
+        assert_eq!(clocks.len(), self.n, "need one clock per node");
+        for (i, c) in clocks.iter().enumerate() {
+            c.validate_rates(self.theta)
+                .unwrap_or_else(|e| panic!("clock of node {i}: {e}"));
+        }
+        let ring = KeyRing::symbolic(self.n, self.seed);
+        let signers: Vec<Arc<dyn Signer>> =
+            NodeId::all(self.n).map(|v| ring.signer(v)).collect();
+        let verifier = ring.verifier();
+        let adv_signer = ring.restricted_signer(self.faulty.clone());
+        let nodes: Vec<Option<A>> = NodeId::all(self.n)
+            .map(|v| {
+                if self.faulty.contains(&v) {
+                    None
+                } else {
+                    Some(make_node(v))
+                }
+            })
+            .collect();
+        Sim {
+            n: self.n,
+            faulty: self.faulty.clone(),
+            honest: NodeId::all(self.n)
+                .filter(|v| !self.faulty.contains(v))
+                .collect(),
+            link: self.link,
+            delay_model: self.delay_model,
+            clocks,
+            signers,
+            verifier,
+            adv_signer,
+            knowledge: KnowledgeTracker::new(self.faulty),
+            nodes,
+            adversary,
+            queue: EventQueue::new(),
+            now: Time::ZERO,
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            trace: Trace::new(self.n),
+            limits: RunLimits {
+                horizon: self.horizon,
+                max_pulses: self.max_pulses,
+                max_events: self.max_events,
+            },
+            rng,
+        }
+    }
+}
+
+enum Effect<M> {
+    Send { to: NodeId, msg: M },
+    SetTimer { id: TimerId, at: LocalTime },
+    CancelTimer { id: TimerId },
+    Pulse { index: u64 },
+    Violation(String),
+}
+
+/// A deterministic discrete-event simulation of one execution of the model.
+///
+/// Construct via [`SimBuilder`]; consume via [`Sim::run`].
+pub struct Sim<A: Automaton> {
+    n: usize,
+    faulty: BTreeSet<NodeId>,
+    honest: Vec<NodeId>,
+    link: LinkConfig,
+    delay_model: DelayModel,
+    clocks: Vec<HardwareClock>,
+    signers: Vec<Arc<dyn Signer>>,
+    verifier: Arc<dyn Verifier>,
+    adv_signer: RestrictedSigner,
+    knowledge: KnowledgeTracker,
+    nodes: Vec<Option<A>>,
+    adversary: Box<dyn Adversary<A::Msg>>,
+    queue: EventQueue<A::Msg>,
+    now: Time,
+    next_timer: u64,
+    cancelled: HashSet<TimerId>,
+    trace: Trace,
+    limits: RunLimits,
+    rng: SmallRng,
+}
+
+impl<A: Automaton> Sim<A> {
+    /// The honest node ids, in ascending order.
+    #[must_use]
+    pub fn honest(&self) -> &[NodeId] {
+        &self.honest
+    }
+
+    /// The hardware clocks in use (indexable by node).
+    #[must_use]
+    pub fn clocks(&self) -> &[HardwareClock] {
+        &self.clocks
+    }
+
+    /// Runs the simulation to completion and returns the trace.
+    ///
+    /// The run ends when the horizon is reached, every honest node has
+    /// produced `max_pulses` pulses, the event queue drains, or the event
+    /// cap trips (recorded as a violation).
+    pub fn run(mut self) -> Trace {
+        self.init();
+        while let Some(event) = self.queue.pop() {
+            if event.at > self.limits.horizon {
+                break;
+            }
+            debug_assert!(event.at >= self.now, "time went backwards");
+            self.now = event.at;
+            self.trace.events_processed += 1;
+            if self.trace.events_processed > self.limits.max_events {
+                self.trace
+                    .violations
+                    .push("event cap exceeded".to_owned());
+                break;
+            }
+            match event.kind {
+                EventKind::Deliver { from, to, msg } => self.deliver(from, to, msg),
+                EventKind::Timer { node, id } => {
+                    if self.cancelled.remove(&id) {
+                        continue;
+                    }
+                    self.dispatch_timer(node, id);
+                }
+                EventKind::AdvTimer { key } => self.dispatch_adv_timer(key),
+            }
+            if self.done_by_pulses() {
+                break;
+            }
+        }
+        self.trace.finished_at = self.now;
+        self.trace
+    }
+
+    fn init(&mut self) {
+        for v in self.honest.clone() {
+            self.with_node(v, |node, ctx| node.on_init(ctx));
+        }
+        self.with_adversary(|adv, api| adv.on_init(api));
+    }
+
+    fn deliver(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
+        self.trace.messages_delivered += 1;
+        if self.faulty.contains(&to) {
+            self.knowledge.learn_all(&msg, self.now);
+            self.with_adversary(|adv, api| adv.on_deliver(to, from, &msg, api));
+        } else {
+            self.with_node(to, |node, ctx| node.on_message(from, msg, ctx));
+        }
+    }
+
+    fn dispatch_timer(&mut self, node: NodeId, id: TimerId) {
+        if self.faulty.contains(&node) {
+            return;
+        }
+        self.with_node(node, |n, ctx| n.on_timer(id, ctx));
+    }
+
+    fn dispatch_adv_timer(&mut self, key: u64) {
+        self.with_adversary(|adv, api| adv.on_timer(key, api));
+    }
+
+    /// Runs `f` against node `v` with a fresh effect buffer, then applies
+    /// the effects.
+    fn with_node<F>(&mut self, v: NodeId, f: F)
+    where
+        F: FnOnce(&mut A, &mut dyn Context<A::Msg>),
+    {
+        let mut node = self.nodes[v.index()].take().expect("honest node present");
+        let mut effects: Vec<Effect<A::Msg>> = Vec::new();
+        let now_local = self.clocks[v.index()].read(self.now);
+        {
+            let mut ctx = NodeCtx {
+                me: v,
+                n: self.n,
+                now_local,
+                signer: &*self.signers[v.index()],
+                verifier: &*self.verifier,
+                next_timer: &mut self.next_timer,
+                effects: &mut effects,
+            };
+            f(&mut node, &mut ctx);
+        }
+        self.nodes[v.index()] = Some(node);
+        self.apply_node_effects(v, effects);
+    }
+
+    fn apply_node_effects(&mut self, v: NodeId, effects: Vec<Effect<A::Msg>>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => self.schedule_honest_send(v, to, msg),
+                Effect::SetTimer { id, at } => {
+                    let local_now = self.clocks[v.index()].read(self.now);
+                    let fire_at = if at <= local_now {
+                        self.now
+                    } else {
+                        self.clocks[v.index()].when(at)
+                    };
+                    self.queue
+                        .push(fire_at, EventKind::Timer { node: v, id });
+                }
+                Effect::CancelTimer { id } => {
+                    self.cancelled.insert(id);
+                }
+                Effect::Pulse { index } => {
+                    self.trace.record_pulse(v, index, self.now);
+                }
+                Effect::Violation(text) => {
+                    self.trace.violations.push(format!("{v}: {text}"));
+                }
+            }
+        }
+    }
+
+    fn schedule_honest_send(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
+        let bounds = self.link.bounds(from, to, &self.faulty);
+        let delay = if self.delay_model == DelayModel::AdversaryChoice {
+            match self.adversary.pick_delay(from, to, bounds) {
+                Some(d) => {
+                    assert!(
+                        d >= bounds.0 && d <= bounds.1,
+                        "adversary chose delay {d} outside bounds ({}, {})",
+                        bounds.0,
+                        bounds.1
+                    );
+                    d
+                }
+                None => DelayModel::Random.draw(from, to, bounds, &mut self.rng),
+            }
+        } else {
+            self.delay_model.draw(from, to, bounds, &mut self.rng)
+        };
+        self.with_adversary(|adv, api| adv.on_honest_send(from, to, api));
+        self.queue
+            .push(self.now + delay, EventKind::Deliver { from, to, msg });
+    }
+
+    fn with_adversary<F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut dyn Adversary<A::Msg>, &mut AdversaryApi<'_, A::Msg>),
+    {
+        let mut api = AdversaryApi {
+            now: self.now,
+            n: self.n,
+            corrupted: &self.faulty,
+            signer: &self.adv_signer,
+            verifier: &*self.verifier,
+            clocks: &self.clocks,
+            knowledge: &self.knowledge,
+            effects: Vec::new(),
+        };
+        f(&mut *self.adversary, &mut api);
+        let effects = api.effects;
+        self.apply_adv_effects(effects);
+    }
+
+    fn apply_adv_effects(&mut self, effects: Vec<AdvEffect<A::Msg>>) {
+        for effect in effects {
+            match effect {
+                AdvEffect::SendAs {
+                    from,
+                    to,
+                    msg,
+                    delay,
+                } => {
+                    assert!(
+                        self.faulty.contains(&from),
+                        "adversary impersonated honest node {from}"
+                    );
+                    if let Err(e) = self.knowledge.authorize(&msg, self.now) {
+                        self.trace.forgeries_blocked += 1;
+                        self.trace
+                            .violations
+                            .push(format!("blocked forgery: {e}"));
+                        continue;
+                    }
+                    let bounds = self.link.bounds(from, to, &self.faulty);
+                    let delay = match delay {
+                        Some(d) => {
+                            assert!(
+                                d >= bounds.0 && d <= bounds.1,
+                                "adversarial delay {d} outside bounds ({}, {})",
+                                bounds.0,
+                                bounds.1
+                            );
+                            d
+                        }
+                        None => self.delay_model.draw(from, to, bounds, &mut self.rng),
+                    };
+                    self.queue
+                        .push(self.now + delay, EventKind::Deliver { from, to, msg });
+                }
+                AdvEffect::SetTimer { at, key } => {
+                    let at = at.max(self.now);
+                    self.queue.push(at, EventKind::AdvTimer { key });
+                }
+            }
+        }
+    }
+
+    fn done_by_pulses(&self) -> bool {
+        match self.limits.max_pulses {
+            None => false,
+            Some(k) => self
+                .honest
+                .iter()
+                .all(|v| self.trace.pulses[v.index()].len() as u64 >= k),
+        }
+    }
+}
+
+/// Node-side context implementation (separate from `SimCtx` so the
+/// `broadcast` clone has access to `M: Clone`).
+struct NodeCtx<'a, M> {
+    me: NodeId,
+    n: usize,
+    now_local: LocalTime,
+    signer: &'a dyn Signer,
+    verifier: &'a dyn Verifier,
+    next_timer: &'a mut u64,
+    effects: &'a mut Vec<Effect<M>>,
+}
+
+impl<'a, M: Clone> Context<M> for NodeCtx<'a, M> {
+    fn me(&self) -> NodeId {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn local_time(&self) -> LocalTime {
+        self.now_local
+    }
+
+    fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    fn broadcast(&mut self, msg: M) {
+        for to in NodeId::all(self.n) {
+            self.effects.push(Effect::Send {
+                to,
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    fn set_timer_at(&mut self, at: LocalTime) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.effects.push(Effect::SetTimer { id, at });
+        id
+    }
+
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.effects.push(Effect::CancelTimer { id: timer });
+    }
+
+    fn pulse(&mut self, index: u64) {
+        self.effects.push(Effect::Pulse { index });
+    }
+
+    fn signer(&self) -> &dyn Signer {
+        self.signer
+    }
+
+    fn verifier(&self) -> &dyn Verifier {
+        self.verifier
+    }
+
+    fn mark_violation(&mut self, description: String) {
+        self.effects.push(Effect::Violation(description));
+    }
+}

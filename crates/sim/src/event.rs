@@ -1,0 +1,157 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crusader_crypto::NodeId;
+use crusader_time::Time;
+
+/// Identifier of a pending local-time timer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub(crate) u64);
+
+impl TimerId {
+    /// Creates a timer id from a raw counter value.
+    ///
+    /// Exposed for alternative [`Context`](crate::Context)
+    /// implementations (the wall-clock runtime, the lower-bound
+    /// tri-execution engine); within one context, ids must be unique.
+    #[must_use]
+    pub fn new(raw: u64) -> Self {
+        TimerId(raw)
+    }
+
+    /// The raw counter value.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// What happens when an event fires.
+#[derive(Clone, Debug)]
+pub(crate) enum EventKind<M> {
+    /// A message is delivered to `to`.
+    Deliver {
+        /// Channel-authenticated sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+        /// Payload.
+        msg: M,
+    },
+    /// An honest node's local-time timer fires.
+    Timer { node: NodeId, id: TimerId },
+    /// An adversary-scheduled real-time timer fires.
+    AdvTimer { key: u64 },
+}
+
+/// A scheduled event. Ordering is by `(at, seq)` — ties broken by insertion
+/// order, making the whole simulation deterministic.
+#[derive(Clone, Debug)]
+pub(crate) struct Event<M> {
+    pub at: Time,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug)]
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, at: Time, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.push(Time::from_secs(2.0), EventKind::AdvTimer { key: 2 });
+        q.push(Time::from_secs(1.0), EventKind::AdvTimer { key: 1 });
+        q.push(Time::from_secs(3.0), EventKind::AdvTimer { key: 3 });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_secs())
+            .collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let t = Time::from_secs(1.0);
+        for key in 0..5 {
+            q.push(t, EventKind::AdvTimer { key });
+        }
+        let keys: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::AdvTimer { key } => key,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Time::ZERO, EventKind::AdvTimer { key: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Skew and period metrics over pulse traces, matching Definition 3 of the
+//! paper (pulse synchronization: liveness, `S`-bounded skew, minimum and
+//! maximum period).
+
+use crusader_crypto::NodeId;
+use crusader_time::Dur;
+
+use crate::Trace;
+
+/// Aggregate pulse-synchronization metrics for a set of (honest) nodes.
+#[derive(Clone, Debug)]
+pub struct PulseStats {
+    /// Skew `‖p⃗_r‖ = max_v p_{v,r} − min_v p_{v,r}` per pulse (1-based
+    /// pulse `r` is at index `r-1`).
+    pub skews: Vec<Dur>,
+    /// `sup_r ‖p⃗_r‖` — the paper's skew `S` as measured.
+    pub max_skew: Dur,
+    /// Skew of the last complete pulse (steady-state skew once converged).
+    pub final_skew: Dur,
+    /// `inf_r { min_v p_{v,r+1} − max_v p_{v,r} }` (Definition 3).
+    pub min_period: Dur,
+    /// `sup_r { max_v p_{v,r+1} − min_v p_{v,r} }` (Definition 3).
+    pub max_period: Dur,
+    /// Number of pulses completed by all the given nodes.
+    pub complete_pulses: usize,
+}
+
+/// Computes pulse statistics over `nodes` (normally the honest set).
+///
+/// Liveness is reported through `complete_pulses`; period bounds are
+/// meaningful only when `complete_pulses ≥ 2` and default to zero
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty.
+#[must_use]
+pub fn pulse_stats(trace: &Trace, nodes: &[NodeId]) -> PulseStats {
+    assert!(!nodes.is_empty(), "need at least one node to analyze");
+    let complete = trace.complete_pulses(nodes);
+    let mut skews = Vec::with_capacity(complete);
+    for r in 1..=complete {
+        let times = trace
+            .pulse_times(r, nodes)
+            .expect("pulse r is complete for all nodes");
+        let min = times.iter().copied().min().expect("non-empty");
+        let max = times.iter().copied().max().expect("non-empty");
+        skews.push(max - min);
+    }
+    let max_skew = skews.iter().copied().max().unwrap_or(Dur::ZERO);
+    let final_skew = skews.last().copied().unwrap_or(Dur::ZERO);
+
+    let mut min_period = Dur::from_secs(f64::MAX / 2.0);
+    let mut max_period = Dur::ZERO;
+    if complete >= 2 {
+        for r in 1..complete {
+            let cur = trace.pulse_times(r, nodes).expect("complete");
+            let next = trace.pulse_times(r + 1, nodes).expect("complete");
+            let cur_min = cur.iter().copied().min().expect("non-empty");
+            let cur_max = cur.iter().copied().max().expect("non-empty");
+            let next_min = next.iter().copied().min().expect("non-empty");
+            let next_max = next.iter().copied().max().expect("non-empty");
+            min_period = min_period.min(next_min - cur_max);
+            max_period = max_period.max(next_max - cur_min);
+        }
+    } else {
+        min_period = Dur::ZERO;
+    }
+
+    PulseStats {
+        skews,
+        max_skew,
+        final_skew,
+        min_period,
+        max_period,
+        complete_pulses: complete,
+    }
+}
+
+/// Maximum skew over pulses `from..` (1-based, inclusive), ignoring the
+/// initial convergence phase. Returns `None` if fewer pulses completed.
+#[must_use]
+pub fn steady_state_skew(stats: &PulseStats, from: usize) -> Option<Dur> {
+    if from == 0 || from > stats.skews.len() {
+        return None;
+    }
+    stats.skews[from - 1..].iter().copied().max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crusader_time::Time;
+
+    fn trace_from(pulses: &[&[f64]]) -> Trace {
+        let mut t = Trace::new(pulses.len());
+        for (v, times) in pulses.iter().enumerate() {
+            for (i, secs) in times.iter().enumerate() {
+                t.record_pulse(NodeId::new(v), (i + 1) as u64, Time::from_secs(*secs));
+            }
+        }
+        t
+    }
+
+    fn ids(n: usize) -> Vec<NodeId> {
+        NodeId::all(n).collect()
+    }
+
+    #[test]
+    fn skew_and_periods() {
+        // Two nodes, three pulses.
+        let t = trace_from(&[&[1.0, 2.0, 3.0], &[1.1, 2.05, 3.2]]);
+        let s = pulse_stats(&t, &ids(2));
+        assert_eq!(s.complete_pulses, 3);
+        assert!((s.skews[0].as_secs() - 0.1).abs() < 1e-12);
+        assert!((s.skews[1].as_secs() - 0.05).abs() < 1e-12);
+        assert!((s.skews[2].as_secs() - 0.2).abs() < 1e-12);
+        assert!((s.max_skew.as_secs() - 0.2).abs() < 1e-12);
+        assert!((s.final_skew.as_secs() - 0.2).abs() < 1e-12);
+        // min period: min over r of (next_min - cur_max):
+        // r=1: min(2.0,2.05)-max(1.0,1.1)=0.9 ; r=2: 3.0-2.05=0.95
+        assert!((s.min_period.as_secs() - 0.9).abs() < 1e-12);
+        // max period: r=1: 2.05-1.0=1.05 ; r=2: 3.2-2.0=1.2
+        assert!((s.max_period.as_secs() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_pulses_are_truncated() {
+        let t = trace_from(&[&[1.0, 2.0], &[1.0]]);
+        let s = pulse_stats(&t, &ids(2));
+        assert_eq!(s.complete_pulses, 1);
+        assert_eq!(s.min_period, Dur::ZERO);
+        assert_eq!(s.max_period, Dur::ZERO);
+    }
+
+    #[test]
+    fn steady_state_skips_convergence() {
+        let t = trace_from(&[&[1.0, 2.0, 3.0], &[1.5, 2.01, 3.01]]);
+        let s = pulse_stats(&t, &ids(2));
+        assert!((s.max_skew.as_secs() - 0.5).abs() < 1e-12);
+        let steady = steady_state_skew(&s, 2).unwrap();
+        assert!((steady.as_secs() - 0.01).abs() < 1e-12);
+        assert_eq!(steady_state_skew(&s, 4), None);
+        assert_eq!(steady_state_skew(&s, 0), None);
+    }
+
+    #[test]
+    fn single_node_has_zero_skew() {
+        let t = trace_from(&[&[1.0, 2.0]]);
+        let s = pulse_stats(&t, &ids(1));
+        assert_eq!(s.max_skew, Dur::ZERO);
+        assert!((s.min_period.as_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_node_set_panics() {
+        let t = trace_from(&[&[1.0]]);
+        let _ = pulse_stats(&t, &[]);
+    }
+}

@@ -1,0 +1,211 @@
+use std::collections::BTreeSet;
+
+use crusader_crypto::NodeId;
+use crusader_time::Dur;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Link-delay parameters of the fully connected network.
+///
+/// Messages between honest nodes take between `d − u` and `d`; messages on
+/// links with at least one faulty endpoint take between `d − u_tilde` and
+/// `d` (the paper's `ũ ∈ [u, d]`, central to the lower bound of Theorem 5
+/// and to experiment E9). By default `u_tilde = u`, i.e. faulty nodes obey
+/// the same minimum delay as honest ones — which Section 3 shows is
+/// *required* for the upper bound.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkConfig {
+    /// Maximum end-to-end delay `d`.
+    pub d: Dur,
+    /// Delay uncertainty `u` on honest↔honest links.
+    pub u: Dur,
+    /// Delay uncertainty `ũ ≥ u` on links with a faulty endpoint.
+    pub u_tilde: Dur,
+}
+
+impl LinkConfig {
+    /// Creates a configuration with `u_tilde = u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ u ≤ d` and `d > 0`.
+    #[must_use]
+    pub fn new(d: Dur, u: Dur) -> Self {
+        assert!(d > Dur::ZERO, "d must be positive, got {d}");
+        assert!(
+            !u.is_negative() && u <= d,
+            "u must satisfy 0 <= u <= d, got u={u}, d={d}"
+        );
+        LinkConfig { d, u, u_tilde: u }
+    }
+
+    /// Sets the faulty-link uncertainty `ũ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `u ≤ ũ ≤ d`.
+    #[must_use]
+    pub fn with_u_tilde(mut self, u_tilde: Dur) -> Self {
+        assert!(
+            u_tilde >= self.u && u_tilde <= self.d,
+            "u_tilde must satisfy u <= u_tilde <= d"
+        );
+        self.u_tilde = u_tilde;
+        self
+    }
+
+    /// Delay bounds `(min, max)` for a message from `from` to `to`.
+    #[must_use]
+    pub fn bounds(&self, from: NodeId, to: NodeId, faulty: &BTreeSet<NodeId>) -> (Dur, Dur) {
+        let unc = if faulty.contains(&from) || faulty.contains(&to) {
+            self.u_tilde
+        } else {
+            self.u
+        };
+        (self.d - unc, self.d)
+    }
+}
+
+/// How the engine picks honest-message delays within the model bounds.
+///
+/// In the model, the *adversary* controls all delays; these policies are
+/// canned adversarial strategies. [`DelayModel::AdversaryChoice`] defers to
+/// the [`Adversary`](crate::Adversary) implementation for full generality.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum DelayModel {
+    /// Every message takes the maximum delay `d`.
+    MaxAlways,
+    /// Every message takes the minimum delay for its link.
+    MinAlways,
+    /// Delays drawn uniformly from the allowed interval.
+    #[default]
+    Random,
+    /// Each delay is independently either the minimum or the maximum —
+    /// the worst case for offset estimation.
+    Extremal,
+    /// Asymmetric worst case: messages from lower to higher node index are
+    /// fast, the reverse slow. Maximizes perceived offset error.
+    Tilted,
+    /// Ask the [`Adversary`](crate::Adversary) for every delay (falls back
+    /// to `Random` when it declines).
+    AdversaryChoice,
+}
+
+impl DelayModel {
+    /// Draws a delay within `(min, max)` according to the policy.
+    pub(crate) fn draw(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bounds: (Dur, Dur),
+        rng: &mut SmallRng,
+    ) -> Dur {
+        let (min, max) = bounds;
+        match self {
+            DelayModel::MaxAlways => max,
+            DelayModel::MinAlways => min,
+            DelayModel::Random | DelayModel::AdversaryChoice => {
+                if min == max {
+                    min
+                } else {
+                    Dur::from_secs(rng.gen_range(min.as_secs()..=max.as_secs()))
+                }
+            }
+            DelayModel::Extremal => {
+                if rng.gen_bool(0.5) {
+                    min
+                } else {
+                    max
+                }
+            }
+            DelayModel::Tilted => {
+                if from.index() < to.index() {
+                    min
+                } else {
+                    max
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn faulty(ids: &[usize]) -> BTreeSet<NodeId> {
+        ids.iter().map(|&i| NodeId::new(i)).collect()
+    }
+
+    #[test]
+    fn honest_links_use_u() {
+        let link = LinkConfig::new(Dur::from_millis(1.0), Dur::from_micros(100.0));
+        let (min, max) = link.bounds(NodeId::new(0), NodeId::new(1), &faulty(&[2]));
+        assert_eq!(max, Dur::from_millis(1.0));
+        assert!((min.as_micros() - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faulty_links_use_u_tilde() {
+        let link = LinkConfig::new(Dur::from_millis(1.0), Dur::from_micros(100.0))
+            .with_u_tilde(Dur::from_micros(400.0));
+        for (a, b) in [(2usize, 1usize), (1, 2)] {
+            let (min, _) = link.bounds(NodeId::new(a), NodeId::new(b), &faulty(&[2]));
+            assert!((min.as_micros() - 600.0).abs() < 1e-9, "{a}->{b}");
+        }
+        // Honest link unaffected.
+        let (min, _) = link.bounds(NodeId::new(0), NodeId::new(1), &faulty(&[2]));
+        assert!((min.as_micros() - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "u_tilde")]
+    fn u_tilde_below_u_rejected() {
+        let _ = LinkConfig::new(Dur::from_millis(1.0), Dur::from_micros(100.0))
+            .with_u_tilde(Dur::from_micros(50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "u must satisfy")]
+    fn u_above_d_rejected() {
+        let _ = LinkConfig::new(Dur::from_millis(1.0), Dur::from_millis(2.0));
+    }
+
+    #[test]
+    fn delay_models_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let bounds = (Dur::from_micros(900.0), Dur::from_millis(1.0));
+        let models = [
+            DelayModel::MaxAlways,
+            DelayModel::MinAlways,
+            DelayModel::Random,
+            DelayModel::Extremal,
+            DelayModel::Tilted,
+        ];
+        for model in models {
+            for _ in 0..100 {
+                let delay = model.draw(NodeId::new(0), NodeId::new(1), bounds, &mut rng);
+                assert!(delay >= bounds.0 && delay <= bounds.1, "{model:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tilted_is_directional() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let bounds = (Dur::from_micros(900.0), Dur::from_millis(1.0));
+        let fwd = DelayModel::Tilted.draw(NodeId::new(0), NodeId::new(5), bounds, &mut rng);
+        let back = DelayModel::Tilted.draw(NodeId::new(5), NodeId::new(0), bounds, &mut rng);
+        assert_eq!(fwd, bounds.0);
+        assert_eq!(back, bounds.1);
+    }
+
+    #[test]
+    fn degenerate_interval_is_fine() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let b = (Dur::from_millis(1.0), Dur::from_millis(1.0));
+        let delay = DelayModel::Random.draw(NodeId::new(0), NodeId::new(1), b, &mut rng);
+        assert_eq!(delay, Dur::from_millis(1.0));
+    }
+}

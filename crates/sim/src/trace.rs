@@ -1,0 +1,101 @@
+use crusader_crypto::NodeId;
+use crusader_time::Time;
+
+/// The observable record of a simulation run.
+///
+/// Collected by the engine; consumed by [`metrics`](crate::metrics) and by
+/// tests asserting on the exact behaviour of an execution.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Per node, the real times of its pulses (`pulses[v][r-1]` is node
+    /// `v`'s `r`-th pulse). Faulty nodes have empty entries.
+    pub pulses: Vec<Vec<Time>>,
+    /// Protocol-reported soft violations (e.g. "next pulse scheduled in the
+    /// past"). Used by resilience experiments to detect breakdown without
+    /// panicking.
+    pub violations: Vec<String>,
+    /// Number of adversarial sends dropped because they carried honest
+    /// signatures the adversary had not yet learned.
+    pub forgeries_blocked: u64,
+    /// Total messages delivered (to honest and faulty nodes).
+    pub messages_delivered: u64,
+    /// Total events processed by the engine.
+    pub events_processed: u64,
+    /// Real time at which the simulation stopped.
+    pub finished_at: Time,
+}
+
+impl Trace {
+    pub(crate) fn new(n: usize) -> Self {
+        Trace {
+            pulses: vec![Vec::new(); n],
+            ..Trace::default()
+        }
+    }
+
+    pub(crate) fn record_pulse(&mut self, node: NodeId, index: u64, at: Time) {
+        let list = &mut self.pulses[node.index()];
+        if index as usize != list.len() + 1 {
+            self.violations.push(format!(
+                "{node} emitted pulse {index} after {} pulses",
+                list.len()
+            ));
+        }
+        list.push(at);
+    }
+
+    /// The number of pulses completed by *every* node in `nodes`.
+    #[must_use]
+    pub fn complete_pulses(&self, nodes: &[NodeId]) -> usize {
+        nodes
+            .iter()
+            .map(|v| self.pulses[v.index()].len())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The times of pulse `r` (1-based) across `nodes`, if all have it.
+    #[must_use]
+    pub fn pulse_times(&self, r: usize, nodes: &[NodeId]) -> Option<Vec<Time>> {
+        assert!(r >= 1, "pulses are 1-based");
+        nodes
+            .iter()
+            .map(|v| self.pulses[v.index()].get(r - 1).copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut t = Trace::new(3);
+        let a = NodeId::new(0);
+        let b = NodeId::new(1);
+        t.record_pulse(a, 1, Time::from_secs(1.0));
+        t.record_pulse(b, 1, Time::from_secs(1.1));
+        t.record_pulse(a, 2, Time::from_secs(2.0));
+        assert_eq!(t.complete_pulses(&[a, b]), 1);
+        assert_eq!(
+            t.pulse_times(1, &[a, b]),
+            Some(vec![Time::from_secs(1.0), Time::from_secs(1.1)])
+        );
+        assert_eq!(t.pulse_times(2, &[a, b]), None);
+        assert!(t.violations.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_pulse_is_a_violation() {
+        let mut t = Trace::new(1);
+        t.record_pulse(NodeId::new(0), 5, Time::ZERO);
+        assert_eq!(t.violations.len(), 1);
+    }
+
+    #[test]
+    fn complete_pulses_empty_nodes() {
+        let t = Trace::new(1);
+        assert_eq!(t.complete_pulses(&[]), 0);
+    }
+}

@@ -1,0 +1,451 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Dur, LocalTime, Time};
+
+/// One linear piece of a [`HardwareClock`].
+///
+/// The segment is active from `start` (real time) onwards and maps
+/// `t ↦ local_at_start + rate · (t − start)`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Real time at which this segment begins.
+    pub start: Time,
+    /// Hardware-clock reading at `start`.
+    pub local_at_start: LocalTime,
+    /// Clock rate on this segment (`dH/dt`).
+    pub rate: f64,
+}
+
+impl Segment {
+    fn read(&self, t: Time) -> LocalTime {
+        self.local_at_start + (t - self.start) * self.rate
+    }
+
+    fn when(&self, h: LocalTime) -> Time {
+        self.start + (h - self.local_at_start) / self.rate
+    }
+}
+
+/// Errors raised when constructing or validating a hardware clock.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClockError {
+    /// A segment's rate was not strictly positive (the clock must be
+    /// strictly increasing for `H⁻¹` to exist).
+    NonPositiveRate,
+    /// A segment started before its predecessor.
+    UnsortedSegments,
+    /// A rate fell outside the model bounds `[1, θ]`.
+    RateOutOfModelBounds {
+        /// The offending rate.
+        rate: f64,
+        /// The maximum rate `θ` being validated against.
+        theta: f64,
+    },
+    /// The clock has no segments.
+    Empty,
+}
+
+impl fmt::Display for ClockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockError::NonPositiveRate => write!(f, "clock rate must be strictly positive"),
+            ClockError::UnsortedSegments => write!(f, "clock segments must start in order"),
+            ClockError::RateOutOfModelBounds { rate, theta } => {
+                write!(f, "clock rate {rate} outside model bounds [1, {theta}]")
+            }
+            ClockError::Empty => write!(f, "clock must have at least one segment"),
+        }
+    }
+}
+
+impl std::error::Error for ClockError {}
+
+/// A hardware clock `H_v : ℝ≥0 → ℝ≥0`, modelled as a continuous,
+/// piecewise-linear, strictly increasing function.
+///
+/// The adversary of the model chooses these functions upfront (subject to
+/// rates in `[1, θ]`); honest protocol code can only *evaluate* the clock at
+/// the current real time, which the simulator does on its behalf. Because
+/// the function is strictly increasing it has a well-defined inverse
+/// [`HardwareClock::when`], which the simulator uses to convert local-time
+/// timers ("wake me at local time `h`") into real-time events.
+///
+/// # Example
+///
+/// ```
+/// use crusader_time::{Dur, HardwareClock, Time};
+///
+/// // Runs 5 % fast for the first second, then exactly at rate 1.
+/// let clock = HardwareClock::builder()
+///     .offset(Dur::from_millis(1.0))
+///     .piece(1.05, Dur::from_secs(1.0))
+///     .tail_rate(1.0)
+///     .build()
+///     .unwrap();
+/// let h = clock.read(Time::from_secs(2.0));
+/// assert!((h.as_secs() - (0.001 + 1.05 + 1.0)).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HardwareClock {
+    /// Non-empty, sorted by `start`; the final segment extends to infinity.
+    segments: Vec<Segment>,
+}
+
+impl HardwareClock {
+    /// A perfect clock: `H(t) = t`.
+    #[must_use]
+    pub fn perfect() -> Self {
+        Self::with_offset_and_rate(Dur::ZERO, 1.0)
+    }
+
+    /// A clock with constant `rate` and initial offset `H(0) = offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive or not finite.
+    #[must_use]
+    pub fn with_offset_and_rate(offset: Dur, rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "invalid clock rate {rate}");
+        HardwareClock {
+            segments: vec![Segment {
+                start: Time::ZERO,
+                local_at_start: LocalTime::ZERO + offset,
+                rate,
+            }],
+        }
+    }
+
+    /// Starts building a piecewise clock.
+    #[must_use]
+    pub fn builder() -> HardwareClockBuilder {
+        HardwareClockBuilder::new()
+    }
+
+    /// Evaluates `H(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the first segment (the model starts at
+    /// `t = 0` and all clocks are defined from there).
+    #[must_use]
+    pub fn read(&self, t: Time) -> LocalTime {
+        self.segment_at(t).read(t)
+    }
+
+    /// Evaluates the inverse `H⁻¹(h)`: the real time at which the clock
+    /// reads `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` precedes the clock's reading at its first segment.
+    #[must_use]
+    pub fn when(&self, h: LocalTime) -> Time {
+        let seg = self.segment_at_local(h);
+        seg.when(h)
+    }
+
+    /// The clock rate in effect at real time `t`.
+    #[must_use]
+    pub fn rate_at(&self, t: Time) -> f64 {
+        self.segment_at(t).rate
+    }
+
+    /// The initial reading `H(0)`.
+    #[must_use]
+    pub fn initial_offset(&self) -> Dur {
+        self.read(Time::ZERO).since_origin()
+    }
+
+    /// The segments making up this clock.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Checks that every rate lies within the model bounds `[1, θ]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClockError::RateOutOfModelBounds`] for the first
+    /// out-of-bounds segment.
+    pub fn validate_rates(&self, theta: f64) -> Result<(), ClockError> {
+        const TOL: f64 = 1e-12;
+        for seg in &self.segments {
+            if seg.rate < 1.0 - TOL || seg.rate > theta + TOL {
+                return Err(ClockError::RateOutOfModelBounds {
+                    rate: seg.rate,
+                    theta,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn segment_at(&self, t: Time) -> &Segment {
+        let first = self.segments.first().expect("clock is non-empty");
+        assert!(
+            t >= first.start,
+            "clock evaluated before its first segment: {t:?} < {:?}",
+            first.start
+        );
+        match self
+            .segments
+            .binary_search_by(|seg| seg.start.cmp(&t))
+        {
+            Ok(i) => &self.segments[i],
+            Err(i) => &self.segments[i - 1],
+        }
+    }
+
+    fn segment_at_local(&self, h: LocalTime) -> &Segment {
+        let first = self.segments.first().expect("clock is non-empty");
+        assert!(
+            h >= first.local_at_start,
+            "clock inverse evaluated before first segment: {h:?} < {:?}",
+            first.local_at_start
+        );
+        match self
+            .segments
+            .binary_search_by(|seg| seg.local_at_start.cmp(&h))
+        {
+            Ok(i) => &self.segments[i],
+            Err(i) => &self.segments[i - 1],
+        }
+    }
+}
+
+impl Default for HardwareClock {
+    fn default() -> Self {
+        HardwareClock::perfect()
+    }
+}
+
+/// Builder for piecewise-linear [`HardwareClock`]s.
+///
+/// Pieces are appended in order; the mandatory *tail rate* extends the clock
+/// to infinity. See [`HardwareClock::builder`] for an example.
+#[derive(Clone, Debug)]
+pub struct HardwareClockBuilder {
+    offset: Dur,
+    pieces: Vec<(f64, Dur)>,
+    tail_rate: f64,
+}
+
+impl HardwareClockBuilder {
+    fn new() -> Self {
+        HardwareClockBuilder {
+            offset: Dur::ZERO,
+            pieces: Vec::new(),
+            tail_rate: 1.0,
+        }
+    }
+
+    /// Sets the initial reading `H(0)`.
+    pub fn offset(&mut self, offset: Dur) -> &mut Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Appends a piece running at `rate` for real duration `span`.
+    pub fn piece(&mut self, rate: f64, span: Dur) -> &mut Self {
+        self.pieces.push((rate, span));
+        self
+    }
+
+    /// Sets the rate of the final, unbounded segment.
+    pub fn tail_rate(&mut self, rate: f64) -> &mut Self {
+        self.tail_rate = rate;
+        self
+    }
+
+    /// Builds the clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClockError::NonPositiveRate`] if any rate is not strictly
+    /// positive, or [`ClockError::UnsortedSegments`] if any span is
+    /// negative.
+    pub fn build(&self) -> Result<HardwareClock, ClockError> {
+        let mut segments = Vec::with_capacity(self.pieces.len() + 1);
+        let mut start = Time::ZERO;
+        let mut local = LocalTime::ZERO + self.offset;
+        for &(rate, span) in &self.pieces {
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(ClockError::NonPositiveRate);
+            }
+            if span.is_negative() {
+                return Err(ClockError::UnsortedSegments);
+            }
+            segments.push(Segment {
+                start,
+                local_at_start: local,
+                rate,
+            });
+            local += span * rate;
+            start += span;
+        }
+        if !(self.tail_rate.is_finite() && self.tail_rate > 0.0) {
+            return Err(ClockError::NonPositiveRate);
+        }
+        segments.push(Segment {
+            start,
+            local_at_start: local,
+            rate: self.tail_rate,
+        });
+        Ok(HardwareClock { segments })
+    }
+}
+
+impl Default for HardwareClockBuilder {
+    fn default() -> Self {
+        HardwareClockBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        let c = HardwareClock::perfect();
+        for secs in [0.0, 0.5, 100.0] {
+            let t = Time::from_secs(secs);
+            assert_eq!(c.read(t).as_secs(), secs);
+            assert_eq!(c.when(LocalTime::from_secs(secs)), t);
+        }
+    }
+
+    #[test]
+    fn constant_rate_clock() {
+        let c = HardwareClock::with_offset_and_rate(Dur::from_secs(1.0), 2.0);
+        assert_eq!(c.read(Time::ZERO), LocalTime::from_secs(1.0));
+        assert_eq!(c.read(Time::from_secs(3.0)), LocalTime::from_secs(7.0));
+        assert_eq!(c.when(LocalTime::from_secs(7.0)), Time::from_secs(3.0));
+        assert_eq!(c.rate_at(Time::from_secs(10.0)), 2.0);
+        assert_eq!(c.initial_offset(), Dur::from_secs(1.0));
+    }
+
+    #[test]
+    fn piecewise_clock_is_continuous_and_invertible() {
+        let c = HardwareClock::builder()
+            .offset(Dur::from_millis(3.0))
+            .piece(1.1, Dur::from_secs(1.0))
+            .piece(1.0, Dur::from_secs(2.0))
+            .tail_rate(1.05)
+            .build()
+            .unwrap();
+        // Continuity at the breakpoints.
+        let eps = 1e-9;
+        for bp in [1.0, 3.0] {
+            let before = c.read(Time::from_secs(bp - eps));
+            let after = c.read(Time::from_secs(bp + eps));
+            assert!((after - before).abs().as_secs() < 1.2 * 1.1 * 2.0 * eps);
+        }
+        // Inverse round-trips across all segments.
+        for secs in [0.0, 0.5, 1.0, 2.5, 3.0, 10.0] {
+            let t = Time::from_secs(secs);
+            let back = c.when(c.read(t));
+            assert!((back - t).abs().as_secs() < 1e-12, "at t={secs}");
+        }
+    }
+
+    #[test]
+    fn validate_rates_catches_out_of_bounds() {
+        let slow = HardwareClock::with_offset_and_rate(Dur::ZERO, 0.5);
+        assert!(matches!(
+            slow.validate_rates(1.1),
+            Err(ClockError::RateOutOfModelBounds { .. })
+        ));
+        let fast = HardwareClock::with_offset_and_rate(Dur::ZERO, 1.2);
+        assert!(fast.validate_rates(1.1).is_err());
+        let fine = HardwareClock::with_offset_and_rate(Dur::ZERO, 1.05);
+        assert!(fine.validate_rates(1.1).is_ok());
+        // Exactly θ passes.
+        let edge = HardwareClock::with_offset_and_rate(Dur::ZERO, 1.1);
+        assert!(edge.validate_rates(1.1).is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_bad_rates() {
+        let err = HardwareClock::builder().tail_rate(0.0).build().unwrap_err();
+        assert_eq!(err, ClockError::NonPositiveRate);
+        let err = HardwareClock::builder()
+            .piece(-1.0, Dur::from_secs(1.0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ClockError::NonPositiveRate);
+    }
+
+    #[test]
+    #[should_panic(expected = "before its first segment")]
+    fn reading_before_origin_panics() {
+        let c = HardwareClock::perfect();
+        let _ = c.read(Time::from_secs(-1.0));
+    }
+
+    #[test]
+    fn rate_bound_implies_elapsed_bound() {
+        // The model's defining inequality: t'−t ≤ H(t')−H(t) ≤ θ(t'−t).
+        let theta = 1.08;
+        let c = HardwareClock::builder()
+            .piece(1.0, Dur::from_secs(0.4))
+            .piece(theta, Dur::from_secs(0.6))
+            .tail_rate(1.03)
+            .build()
+            .unwrap();
+        c.validate_rates(theta).unwrap();
+        let pairs = [(0.0, 0.3), (0.2, 0.9), (0.5, 5.0), (0.0, 5.0)];
+        for (a, b) in pairs {
+            let elapsed_local =
+                (c.read(Time::from_secs(b)) - c.read(Time::from_secs(a))).as_secs();
+            let elapsed_real = b - a;
+            assert!(elapsed_local >= elapsed_real - 1e-12);
+            assert!(elapsed_local <= theta * elapsed_real + 1e-12);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_inverse_roundtrip(
+            offset in 0.0f64..0.1,
+            r1 in 1.0f64..1.1,
+            r2 in 1.0f64..1.1,
+            tail in 1.0f64..1.1,
+            span1 in 0.01f64..10.0,
+            span2 in 0.01f64..10.0,
+            t in 0.0f64..40.0,
+        ) {
+            let c = HardwareClock::builder()
+                .offset(Dur::from_secs(offset))
+                .piece(r1, Dur::from_secs(span1))
+                .piece(r2, Dur::from_secs(span2))
+                .tail_rate(tail)
+                .build()
+                .unwrap();
+            let time = Time::from_secs(t);
+            let back = c.when(c.read(time));
+            prop_assert!((back - time).abs().as_secs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_monotone(
+            r1 in 1.0f64..1.1,
+            span1 in 0.01f64..10.0,
+            tail in 1.0f64..1.1,
+            a in 0.0f64..20.0,
+            b in 0.0f64..20.0,
+        ) {
+            let c = HardwareClock::builder()
+                .piece(r1, Dur::from_secs(span1))
+                .tail_rate(tail)
+                .build()
+                .unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(c.read(Time::from_secs(lo)) <= c.read(Time::from_secs(hi)));
+        }
+    }
+}

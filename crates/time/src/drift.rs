@@ -1,0 +1,189 @@
+//! Families of hardware clocks used as drift models.
+//!
+//! In the model of the paper the *adversary* chooses hardware-clock
+//! functions (subject to rates in `[1, θ]`) and initial offsets (subject to
+//! `H_v(0) ∈ [0, S]` for the upper bound). The generators here produce the
+//! clock families used throughout the experiments, from benign (all perfect)
+//! to worst-case (extremal split, wandering rates).
+
+use rand::Rng;
+
+use crate::{Dur, HardwareClock};
+
+/// A drift model: a recipe for generating one hardware clock per node.
+///
+/// All models take the number of nodes `n`, the rate bound `theta`, and the
+/// maximum initial offset `max_offset` (`S` in the paper: honest clocks
+/// start within `[0, S]` of each other).
+#[derive(Clone, Debug, PartialEq)]
+pub enum DriftModel {
+    /// Every clock is perfect (`rate 1`, offset 0). A sanity baseline.
+    Perfect,
+    /// Every clock runs at rate 1 but offsets are spread evenly over
+    /// `[0, max_offset]`.
+    OffsetsOnly,
+    /// Worst-case stationary split: half the nodes at rate 1 with offset 0,
+    /// half at rate `θ` with offset `max_offset` (maximizes both the initial
+    /// skew and the divergence rate).
+    ExtremalSplit,
+    /// Rates drawn uniformly from `[1, θ]` and offsets uniformly from
+    /// `[0, max_offset]`, fixed for all time.
+    RandomStable,
+    /// Rates re-drawn uniformly from `[1, θ]` every `interval` of real time
+    /// (piecewise-constant "wander"), offsets uniform in `[0, max_offset]`.
+    Wander {
+        /// Real-time span of each constant-rate piece.
+        interval: Dur,
+        /// Number of pieces before the tail segment.
+        pieces: usize,
+    },
+}
+
+impl DriftModel {
+    /// Generates `n` clocks according to the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta < 1` or `max_offset` is negative.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        theta: f64,
+        max_offset: Dur,
+        rng: &mut R,
+    ) -> Vec<HardwareClock> {
+        assert!(theta >= 1.0, "theta must be >= 1, got {theta}");
+        assert!(
+            !max_offset.is_negative(),
+            "max_offset must be non-negative, got {max_offset}"
+        );
+        (0..n)
+            .map(|i| self.generate_one(i, n, theta, max_offset, rng))
+            .collect()
+    }
+
+    fn generate_one<R: Rng + ?Sized>(
+        &self,
+        i: usize,
+        n: usize,
+        theta: f64,
+        max_offset: Dur,
+        rng: &mut R,
+    ) -> HardwareClock {
+        match self {
+            DriftModel::Perfect => HardwareClock::perfect(),
+            DriftModel::OffsetsOnly => {
+                let frac = if n <= 1 {
+                    0.0
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
+                HardwareClock::with_offset_and_rate(max_offset * frac, 1.0)
+            }
+            DriftModel::ExtremalSplit => {
+                if i % 2 == 0 {
+                    HardwareClock::with_offset_and_rate(Dur::ZERO, 1.0)
+                } else {
+                    HardwareClock::with_offset_and_rate(max_offset, theta)
+                }
+            }
+            DriftModel::RandomStable => {
+                let rate = rng.gen_range(1.0..=theta.max(1.0 + f64::EPSILON));
+                let offset = max_offset * rng.gen_range(0.0..=1.0);
+                HardwareClock::with_offset_and_rate(offset, rate.min(theta))
+            }
+            DriftModel::Wander { interval, pieces } => {
+                let mut builder = HardwareClock::builder();
+                builder.offset(max_offset * rng.gen_range(0.0..=1.0));
+                for _ in 0..*pieces {
+                    let rate = rng.gen_range(1.0..=theta.max(1.0 + f64::EPSILON));
+                    builder.piece(rate.min(theta), *interval);
+                }
+                let tail = rng.gen_range(1.0..=theta.max(1.0 + f64::EPSILON));
+                builder.tail_rate(tail.min(theta));
+                builder.build().expect("wander pieces are valid")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Time;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn perfect_model_yields_identity_clocks() {
+        let clocks = DriftModel::Perfect.generate(4, 1.1, Dur::from_millis(1.0), &mut rng());
+        assert_eq!(clocks.len(), 4);
+        for c in &clocks {
+            assert_eq!(c.read(Time::from_secs(5.0)).as_secs(), 5.0);
+        }
+    }
+
+    #[test]
+    fn offsets_only_spreads_evenly() {
+        let s = Dur::from_millis(2.0);
+        let clocks = DriftModel::OffsetsOnly.generate(3, 1.1, s, &mut rng());
+        let offsets: Vec<f64> = clocks.iter().map(|c| c.initial_offset().as_secs()).collect();
+        assert_eq!(offsets, vec![0.0, 0.001, 0.002]);
+    }
+
+    #[test]
+    fn extremal_split_alternates() {
+        let s = Dur::from_millis(1.0);
+        let clocks = DriftModel::ExtremalSplit.generate(4, 1.05, s, &mut rng());
+        assert_eq!(clocks[0].rate_at(Time::ZERO), 1.0);
+        assert_eq!(clocks[1].rate_at(Time::ZERO), 1.05);
+        assert_eq!(clocks[1].initial_offset(), s);
+    }
+
+    #[test]
+    fn all_models_respect_rate_bounds() {
+        let theta = 1.07;
+        let s = Dur::from_millis(1.0);
+        let models = [
+            DriftModel::Perfect,
+            DriftModel::OffsetsOnly,
+            DriftModel::ExtremalSplit,
+            DriftModel::RandomStable,
+            DriftModel::Wander {
+                interval: Dur::from_secs(0.5),
+                pieces: 8,
+            },
+        ];
+        let mut r = rng();
+        for model in models {
+            for clock in model.generate(9, theta, s, &mut r) {
+                clock
+                    .validate_rates(theta)
+                    .unwrap_or_else(|e| panic!("{model:?}: {e}"));
+                let off = clock.initial_offset();
+                assert!(!off.is_negative() && off <= s, "{model:?}: offset {off}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_seed() {
+        let model = DriftModel::Wander {
+            interval: Dur::from_secs(1.0),
+            pieces: 4,
+        };
+        let a = model.generate(5, 1.05, Dur::from_millis(1.0), &mut rng());
+        let b = model.generate(5, 1.05, Dur::from_millis(1.0), &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn theta_below_one_rejected() {
+        let _ = DriftModel::Perfect.generate(2, 0.9, Dur::ZERO, &mut rng());
+    }
+}

@@ -1,0 +1,366 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A signed span of time in seconds.
+///
+/// `Dur` is allowed to be negative (clock *offsets* between nodes are signed
+/// quantities throughout the paper), but is always finite; constructors panic
+/// on NaN or infinity, which keeps every comparison in the crate a total
+/// order.
+///
+/// # Example
+///
+/// ```
+/// use crusader_time::Dur;
+/// let d = Dur::from_millis(1.0);
+/// let u = Dur::from_micros(50.0);
+/// assert!(u < d);
+/// assert_eq!((d - u).as_secs(), 0.00095);
+/// ```
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Dur(f64);
+
+impl Dur {
+    /// The zero duration.
+    pub const ZERO: Dur = Dur(0.0);
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN or infinite.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite(), "duration must be finite, got {secs}");
+        Dur(secs)
+    }
+
+    /// Creates a duration from milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is NaN or infinite.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms * 1e-3)
+    }
+
+    /// Creates a duration from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is NaN or infinite.
+    #[must_use]
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us * 1e-6)
+    }
+
+    /// Creates a duration from nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is NaN or infinite.
+    #[must_use]
+    pub fn from_nanos(ns: f64) -> Self {
+        Self::from_secs(ns * 1e-9)
+    }
+
+    /// Returns the duration in seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the duration in milliseconds.
+    #[must_use]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the duration in microseconds.
+    #[must_use]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the duration in nanoseconds.
+    #[must_use]
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the absolute value.
+    #[must_use]
+    pub fn abs(self) -> Dur {
+        Dur(self.0.abs())
+    }
+
+    /// Returns `true` if the duration is negative.
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0.0
+    }
+
+    /// Returns the larger of two durations.
+    #[must_use]
+    pub fn max(self, other: Dur) -> Dur {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: Dur) -> Dur {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamps the duration into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn clamp(self, lo: Dur, hi: Dur) -> Dur {
+        assert!(lo <= hi, "clamp bounds inverted: {lo} > {hi}");
+        self.max(lo).min(hi)
+    }
+}
+
+impl Default for Dur {
+    fn default() -> Self {
+        Dur::ZERO
+    }
+}
+
+impl Eq for Dur {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl PartialOrd for Dur {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dur {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Values are finite by construction, so total_cmp agrees with the
+        // usual numeric order.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for Dur {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dur({})", human(self.0))
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&human(self.0))
+    }
+}
+
+/// Formats seconds with a convenient SI unit.
+fn human(secs: f64) -> String {
+    let a = secs.abs();
+    if a == 0.0 {
+        "0s".to_owned()
+    } else if a >= 1.0 {
+        format!("{secs:.6}s")
+    } else if a >= 1e-3 {
+        format!("{:.6}ms", secs * 1e3)
+    } else if a >= 1e-6 {
+        format!("{:.6}us", secs * 1e6)
+    } else {
+        format!("{:.3}ns", secs * 1e9)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur::from_secs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur::from_secs(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Dur {
+    fn sub_assign(&mut self, rhs: Dur) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Dur {
+    type Output = Dur;
+    fn neg(self) -> Dur {
+        Dur(-self.0)
+    }
+}
+
+impl Mul<f64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: f64) -> Dur {
+        Dur::from_secs(self.0 * rhs)
+    }
+}
+
+impl Mul<Dur> for f64 {
+    type Output = Dur;
+    fn mul(self, rhs: Dur) -> Dur {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: f64) -> Dur {
+        Dur::from_secs(self.0 / rhs)
+    }
+}
+
+impl Div<Dur> for Dur {
+    type Output = f64;
+    fn div(self, rhs: Dur) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        iter.fold(Dur::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Dur::from_millis(1.0).as_secs(), 1e-3);
+        assert_eq!(Dur::from_micros(1.0).as_secs(), 1e-6);
+        assert_eq!(Dur::from_nanos(1.0).as_secs(), 1e-9);
+        assert_eq!(Dur::from_secs(2.5).as_millis(), 2500.0);
+        assert_eq!(Dur::from_secs(1.0).as_micros(), 1e6);
+        assert_eq!(Dur::from_secs(1.0).as_nanos(), 1e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = Dur::from_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinity_rejected() {
+        let _ = Dur::from_secs(f64::INFINITY);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Dur::from_millis(3.0);
+        let b = Dur::from_micros(500.0);
+        assert_eq!((a + b - b).as_secs(), a.as_secs());
+        assert_eq!((a * 2.0).as_millis(), 6.0);
+        assert_eq!((a / 2.0).as_millis(), 1.5);
+        assert_eq!(a / b, 6.0);
+        assert_eq!((-a).as_millis(), -3.0);
+    }
+
+    #[test]
+    fn ordering_is_total_and_numeric() {
+        let mut v = vec![
+            Dur::from_millis(1.0),
+            Dur::from_micros(-3.0),
+            Dur::ZERO,
+            Dur::from_secs(2.0),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Dur::from_micros(-3.0),
+                Dur::ZERO,
+                Dur::from_millis(1.0),
+                Dur::from_secs(2.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Dur::from_millis(1.0);
+        let b = Dur::from_millis(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(Dur::from_millis(5.0).clamp(a, b), b);
+        assert_eq!(Dur::from_millis(-5.0).clamp(a, b), a);
+        assert_eq!(Dur::from_millis(1.5).clamp(a, b), Dur::from_millis(1.5));
+    }
+
+    #[test]
+    fn display_uses_si_units() {
+        assert_eq!(Dur::ZERO.to_string(), "0s");
+        assert!(Dur::from_millis(1.5).to_string().ends_with("ms"));
+        assert!(Dur::from_micros(2.0).to_string().ends_with("us"));
+        assert!(Dur::from_nanos(3.0).to_string().ends_with("ns"));
+        assert!(Dur::from_secs(1.0).to_string().ends_with('s'));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Dur = (1..=4).map(|i| Dur::from_millis(f64::from(i))).sum();
+        assert!((total.as_millis() - 10.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_abs_nonnegative(x in -1e6f64..1e6) {
+            prop_assert!(Dur::from_secs(x).abs().as_secs() >= 0.0);
+        }
+
+        #[test]
+        fn prop_add_commutes(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            let (da, db) = (Dur::from_secs(a), Dur::from_secs(b));
+            prop_assert_eq!(da + db, db + da);
+        }
+
+        #[test]
+        fn prop_order_matches_f64(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            let (da, db) = (Dur::from_secs(a), Dur::from_secs(b));
+            prop_assert_eq!(da < db, a < b);
+        }
+    }
+}

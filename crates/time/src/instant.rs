@@ -1,0 +1,253 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Dur;
+
+macro_rules! time_point {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The origin (`t = 0`).
+            pub const ZERO: $name = $name(0.0);
+
+            /// Creates a time point from seconds since the origin.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `secs` is NaN or infinite.
+            #[must_use]
+            pub fn from_secs(secs: f64) -> Self {
+                assert!(secs.is_finite(), "time must be finite, got {secs}");
+                $name(secs)
+            }
+
+            /// Creates a time point from milliseconds since the origin.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the value is NaN or infinite.
+            #[must_use]
+            pub fn from_millis(ms: f64) -> Self {
+                Self::from_secs(ms * 1e-3)
+            }
+
+            /// Creates a time point from microseconds since the origin.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the value is NaN or infinite.
+            #[must_use]
+            pub fn from_micros(us: f64) -> Self {
+                Self::from_secs(us * 1e-6)
+            }
+
+            /// Returns seconds since the origin.
+            #[must_use]
+            pub fn as_secs(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the span since the origin as a [`Dur`].
+            #[must_use]
+            pub fn since_origin(self) -> Dur {
+                Dur::from_secs(self.0)
+            }
+
+            /// Returns the later of two time points.
+            #[must_use]
+            pub fn max(self, other: $name) -> $name {
+                if self >= other { self } else { other }
+            }
+
+            /// Returns the earlier of two time points.
+            #[must_use]
+            pub fn min(self, other: $name) -> $name {
+                if self <= other { self } else { other }
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                $name::ZERO
+            }
+        }
+
+        impl Eq for $name {}
+
+        #[allow(clippy::derive_ord_xor_partial_ord)]
+        impl PartialOrd for $name {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl Ord for $name {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        impl std::hash::Hash for $name {
+            fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+                self.0.to_bits().hash(state);
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({}s)"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}s", self.0)
+            }
+        }
+
+        impl Add<Dur> for $name {
+            type Output = $name;
+            fn add(self, rhs: Dur) -> $name {
+                $name::from_secs(self.0 + rhs.as_secs())
+            }
+        }
+
+        impl AddAssign<Dur> for $name {
+            fn add_assign(&mut self, rhs: Dur) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl Sub<Dur> for $name {
+            type Output = $name;
+            fn sub(self, rhs: Dur) -> $name {
+                $name::from_secs(self.0 - rhs.as_secs())
+            }
+        }
+
+        impl SubAssign<Dur> for $name {
+            fn sub_assign(&mut self, rhs: Dur) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Dur;
+            fn sub(self, rhs: $name) -> Dur {
+                Dur::from_secs(self.0 - rhs.0)
+            }
+        }
+    };
+}
+
+time_point! {
+    /// A point in *real* (Newtonian) time, which nodes cannot observe.
+    ///
+    /// Only the simulator, the adversary and the metrics layer handle
+    /// `Time`; protocol code sees [`LocalTime`] exclusively.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use crusader_time::{Dur, Time};
+    /// let t = Time::from_millis(5.0) + Dur::from_millis(1.0);
+    /// assert_eq!(t - Time::ZERO, Dur::from_millis(6.0));
+    /// ```
+    Time
+}
+
+time_point! {
+    /// A hardware-clock reading (`H_v(t)` in the paper).
+    ///
+    /// Distinct nodes' local times are *not* comparable in any physically
+    /// meaningful way; the type system cannot prevent that (both are
+    /// `LocalTime`), but keeping local and real time apart catches the most
+    /// common class of unit bugs in synchronization code.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use crusader_time::{Dur, LocalTime};
+    /// let h = LocalTime::from_secs(1.0);
+    /// assert_eq!(h + Dur::from_secs(0.5) - h, Dur::from_secs(0.5));
+    /// ```
+    LocalTime
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn real_time_arithmetic() {
+        let t = Time::from_secs(1.0);
+        assert_eq!(t + Dur::from_secs(2.0), Time::from_secs(3.0));
+        assert_eq!(t - Dur::from_secs(0.5), Time::from_secs(0.5));
+        assert_eq!(Time::from_secs(3.0) - t, Dur::from_secs(2.0));
+    }
+
+    #[test]
+    fn local_time_arithmetic() {
+        let h = LocalTime::from_millis(10.0);
+        let sum = h + Dur::from_millis(5.0);
+        assert!((sum - LocalTime::from_millis(15.0)).abs().as_secs() < 1e-15);
+        assert!(((LocalTime::from_millis(15.0) - h) - Dur::from_millis(5.0))
+            .abs()
+            .as_secs()
+            < 1e-15);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Time::from_secs(1.0);
+        let b = Time::from_secs(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_time_rejected() {
+        let _ = Time::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn since_origin() {
+        assert_eq!(Time::from_secs(4.0).since_origin(), Dur::from_secs(4.0));
+        assert_eq!(
+            LocalTime::from_millis(4.0).since_origin(),
+            Dur::from_millis(4.0)
+        );
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut t = Time::ZERO;
+        t += Dur::from_secs(2.0);
+        t -= Dur::from_secs(0.5);
+        assert_eq!(t, Time::from_secs(1.5));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_then_sub_identity(t in 0.0f64..1e6, d in -1e3f64..1e3) {
+            let time = Time::from_secs(t);
+            let dur = Dur::from_secs(d);
+            let back = (time + dur) - dur;
+            prop_assert!((back - time).abs().as_secs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_difference_consistent(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+            let (ta, tb) = (Time::from_secs(a), Time::from_secs(b));
+            prop_assert_eq!(ta - tb, -(tb - ta));
+        }
+    }
+}

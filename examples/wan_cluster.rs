@@ -1,0 +1,109 @@
+//! Realistic deployment profiles: what skew does CPS buy on real
+//! networks, compared with the Θ(d) of threshold-echo synchronization?
+//!
+//! Three profiles from the motivation in the paper's introduction — a
+//! rack-scale cluster, a metro-area link, and a WAN — each run at maximum
+//! resilience, reporting CPS's measured skew next to the naive Θ(d)
+//! alternative (Srikanth–Toueg-style echo sync) on identical parameters.
+//!
+//! Run with: `cargo run --example wan_cluster`
+
+use crusader::baselines::EchoSyncNode;
+use crusader::core::{CpsNode, Params};
+use crusader::crypto::NodeId;
+use crusader::sim::metrics::{pulse_stats, steady_state_skew};
+use crusader::sim::{DelayModel, SilentAdversary, SimBuilder};
+use crusader::time::drift::DriftModel;
+use crusader::time::{Dur, Time};
+
+struct Profile {
+    name: &'static str,
+    d: Dur,
+    u: Dur,
+    theta: f64,
+}
+
+fn main() {
+    let profiles = [
+        Profile {
+            name: "rack (10GbE)",
+            d: Dur::from_micros(50.0),
+            u: Dur::from_micros(2.0),
+            theta: 1.00002, // 20 ppm oscillators
+        },
+        Profile {
+            name: "metro fiber",
+            d: Dur::from_millis(2.0),
+            u: Dur::from_micros(100.0),
+            theta: 1.0001,
+        },
+        Profile {
+            name: "WAN (transcontinental)",
+            d: Dur::from_millis(80.0),
+            u: Dur::from_millis(3.0),
+            theta: 1.0002,
+        },
+    ];
+
+    let n = 9; // f = 4
+    println!("deployment profiles — n = {n}, f = 4, 6 honest-pulse steady state\n");
+    println!(
+        "  {:<24} | {:>9} | {:>10} | {:>12} | {:>12} | {:>12} | gain",
+        "profile", "d", "u", "S (bound)", "CPS skew", "echo skew"
+    );
+    println!("  {}", "-".repeat(100));
+
+    for p in &profiles {
+        let params = Params::max_resilience(n, p.d, p.u, p.theta);
+        let derived = params.derive().expect("feasible profile");
+        let honest: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+
+        let cps_trace = SimBuilder::new(n)
+            .faulty(5..9)
+            .link(params.d, params.u)
+            .delays(DelayModel::Random)
+            .drift(DriftModel::RandomStable, params.theta, derived.s)
+            .seed(99)
+            .horizon(Time::from_secs(600.0))
+            .max_pulses(12)
+            .build(
+                |me| CpsNode::new(me, params, derived),
+                Box::new(SilentAdversary),
+            )
+            .run();
+        let cps = pulse_stats(&cps_trace, &honest);
+        let cps_steady = steady_state_skew(&cps, 6).expect("12 pulses");
+
+        let period = p.d * 20.0;
+        let echo_trace = SimBuilder::new(n)
+            .faulty(5..9)
+            .link(params.d, params.u)
+            .delays(DelayModel::Random)
+            .drift(DriftModel::RandomStable, params.theta, Dur::ZERO)
+            .seed(99)
+            .horizon(Time::from_secs(600.0))
+            .max_pulses(12)
+            .build(
+                |me| EchoSyncNode::new(me, n, 4, period),
+                Box::new(crusader::baselines::SelectiveEcho::new(NodeId::new(0))),
+            )
+            .run();
+        let echo = pulse_stats(&echo_trace, &honest);
+        let echo_steady = steady_state_skew(&echo, 6).expect("12 pulses");
+
+        println!(
+            "  {:<24} | {:>9} | {:>10} | {:>12} | {:>12} | {:>12} | {:>5.1}x",
+            p.name,
+            format!("{}", p.d),
+            format!("{}", p.u),
+            format!("{}", derived.s),
+            format!("{cps_steady}"),
+            format!("{echo_steady}"),
+            echo_steady.as_secs() / cps_steady.as_secs().max(1e-12),
+        );
+    }
+
+    println!("\n  CPS's skew tracks u + (θ−1)d, not d: the WAN profile keeps");
+    println!("  millisecond-grade clocks over an 80 ms network, where any");
+    println!("  threshold-echo scheme is pinned at ~d by a selective adversary.");
+}
