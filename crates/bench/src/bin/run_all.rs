@@ -1,6 +1,6 @@
 //! Runs every experiment binary in sequence, emitting one consolidated
-//! report (the source of EXPERIMENTS.md). Each experiment also asserts
-//! its own invariants, so a clean exit is itself a reproduction result.
+//! reproduction report. Each experiment also asserts its own
+//! invariants, so a clean exit is itself a reproduction result.
 
 use std::process::Command;
 
@@ -21,8 +21,27 @@ fn main() {
     let mut failures = 0;
     for exp in experiments {
         println!("\n{}\n", "=".repeat(78));
-        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(exp))
-            .status();
+        // Prefer the sibling binary when it has been built; fall back to
+        // `cargo run` so `cargo run --bin run_all` works on a fresh
+        // clone where only run_all itself was compiled.
+        let sibling = std::env::current_exe()
+            .ok()
+            .and_then(|exe| {
+                Some(exe.parent()?.join(format!("{exp}{}", std::env::consts::EXE_SUFFIX)))
+            })
+            .filter(|path| path.is_file());
+        let status = match sibling {
+            Some(path) => Command::new(path).status(),
+            None => {
+                let cargo = std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into());
+                let mut cmd = Command::new(cargo);
+                cmd.args(["run", "-q", "-p", "crusader_bench", "--bin", exp]);
+                if !cfg!(debug_assertions) {
+                    cmd.arg("--release");
+                }
+                cmd.status()
+            }
+        };
         match status {
             Ok(s) if s.success() => {}
             other => {

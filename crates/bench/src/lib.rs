@@ -1,7 +1,7 @@
 //! Shared measurement harness for the experiment binaries (`src/bin/e*`)
 //! and criterion benches.
 //!
-//! Every experiment in DESIGN.md's per-experiment index funnels through
+//! Every experiment in README.md's per-experiment index funnels through
 //! [`Scenario::run_cps`] / [`Scenario::run_protocol`], so sweeps differ only in the
 //! parameter being varied and the adversary applied.
 

@@ -61,8 +61,8 @@
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `crates/bench` for the
-//! experiment harness regenerating the paper's results (DESIGN.md maps
-//! every claim to its experiment; EXPERIMENTS.md records outcomes).
+//! experiment harness regenerating the paper's results (README.md maps
+//! every claim to its experiment; PAPER.md states the theorems).
 
 #![forbid(unsafe_code)]
 

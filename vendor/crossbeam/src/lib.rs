@@ -1,0 +1,136 @@
+//! Offline stand-in for `crossbeam`, providing the `channel` module the
+//! runtime uses, layered over `std::sync::mpsc`. See `vendor/README.md`.
+
+pub mod channel {
+    //! Multi-producer, single-consumer channels with deadline-aware
+    //! receives (the subset of `crossbeam-channel` the runtime uses).
+
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by deadline/timeout receives.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message available.
+        Timeout,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message was queued.
+        Empty,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, failing only if the receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks until a message arrives, all senders disconnect, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Blocks until a message arrives, all senders disconnect, or
+        /// `deadline` passes.
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+            let now = Instant::now();
+            if deadline <= now {
+                // Drain anything already queued before reporting timeout,
+                // like crossbeam does.
+                return match self.inner.try_recv() {
+                    Ok(m) => Ok(m),
+                    Err(mpsc::TryRecvError::Empty) => Err(RecvTimeoutError::Timeout),
+                    Err(mpsc::TryRecvError::Disconnected) => Err(RecvTimeoutError::Disconnected),
+                };
+            }
+            self.recv_timeout(deadline - now)
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv(), Ok(7));
+        }
+
+        #[test]
+        fn deadline_in_past_still_drains() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            let past = Instant::now() - Duration::from_millis(5);
+            assert_eq!(rx.recv_deadline(past), Ok(1));
+            assert_eq!(rx.recv_deadline(past), Err(RecvTimeoutError::Timeout));
+        }
+
+        #[test]
+        fn disconnect_reported() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

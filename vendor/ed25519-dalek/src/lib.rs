@@ -1,0 +1,245 @@
+//! Offline API-shaped stand-in for `ed25519-dalek`.
+//!
+//! **This is not ed25519.** The build environment is hermetic (no
+//! crates.io), so this crate mimics the `ed25519-dalek` v2 type surface —
+//! [`SigningKey`], [`VerifyingKey`], [`Signature`], the [`Signer`] trait,
+//! 32-byte secrets, 64-byte signatures — over a deterministic keyed-hash
+//! MAC built from splitmix64 mixing. It gives the workspace's runtime and
+//! benches real *moving parts* (keys, signing, strict verification,
+//! tamper rejection) with zero cryptographic strength. Swap the real
+//! crate back in per `vendor/README.md` before trusting any signature.
+
+use std::fmt;
+
+/// Length of a secret key seed in bytes.
+pub const SECRET_KEY_LENGTH: usize = 32;
+/// Length of a public key in bytes.
+pub const PUBLIC_KEY_LENGTH: usize = 32;
+/// Length of a signature in bytes.
+pub const SIGNATURE_LENGTH: usize = 64;
+
+/// Error produced by failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignatureError;
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "signature verification failed")
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// Deterministic 64-byte keyed hash (splitmix64 sponge over 8 lanes).
+///
+/// Not collision-resistant against an adaptive adversary; deterministic
+/// and avalanche-mixing, which is all the test suite observes.
+fn keyed_hash64(key: &[u8; 32], domain: u64, msg: &[u8]) -> [u8; 64] {
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut lanes = [0u64; 8];
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        let k = u64::from_le_bytes(key[(i % 4) * 8..(i % 4) * 8 + 8].try_into().unwrap());
+        *lane = mix(k ^ domain ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    for (pos, &byte) in msg.iter().enumerate() {
+        let lane = pos % 8;
+        lanes[lane] = mix(
+            lanes[lane]
+                ^ u64::from(byte).wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+                ^ (pos as u64).rotate_left(17),
+        );
+    }
+    // Finalization: cross-mix the lanes so every output byte depends on
+    // every input byte.
+    for round in 0..3 {
+        for i in 0..8 {
+            lanes[i] = mix(lanes[i] ^ lanes[(i + 1) % 8].rotate_left(29) ^ round);
+        }
+    }
+    let mut out = [0u8; 64];
+    for (i, lane) in lanes.iter().enumerate() {
+        out[i * 8..i * 8 + 8].copy_from_slice(&lane.to_le_bytes());
+    }
+    out
+}
+
+/// A detached signature (64 bytes, same width as real ed25519).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    bytes: [u8; SIGNATURE_LENGTH],
+}
+
+impl Signature {
+    /// Reconstructs a signature from its 64-byte encoding.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; SIGNATURE_LENGTH]) -> Self {
+        Signature { bytes: *bytes }
+    }
+
+    /// The 64-byte encoding.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; SIGNATURE_LENGTH] {
+        self.bytes
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.bytes {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Objects capable of signing messages (mirrors `signature::Signer`).
+pub trait Signer<S> {
+    /// Signs `msg`.
+    fn sign(&self, msg: &[u8]) -> S;
+}
+
+/// Objects capable of verifying signatures (mirrors
+/// `signature::Verifier`).
+pub trait Verifier<S> {
+    /// Verifies `signature` over `msg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError`] when the signature does not verify.
+    fn verify(&self, msg: &[u8], signature: &S) -> Result<(), SignatureError>;
+}
+
+/// An ed25519-shaped signing key.
+#[derive(Clone)]
+pub struct SigningKey {
+    secret: [u8; SECRET_KEY_LENGTH],
+}
+
+impl SigningKey {
+    /// Builds the key from a 32-byte secret seed.
+    #[must_use]
+    pub fn from_bytes(secret: &[u8; SECRET_KEY_LENGTH]) -> Self {
+        SigningKey { secret: *secret }
+    }
+
+    /// The 32-byte secret seed.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; SECRET_KEY_LENGTH] {
+        self.secret
+    }
+
+    /// Derives the matching verification key.
+    #[must_use]
+    pub fn verifying_key(&self) -> VerifyingKey {
+        let digest = keyed_hash64(&self.secret, 0x7075_626b_6579, b"verifying-key");
+        let mut public = [0u8; PUBLIC_KEY_LENGTH];
+        public.copy_from_slice(&digest[..32]);
+        VerifyingKey {
+            public,
+            // The MAC construction needs the secret on the verifying
+            // side; real ed25519 does not. This is the stand-in's one
+            // structural divergence, invisible through the public API.
+            secret: self.secret,
+        }
+    }
+}
+
+impl fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the secret.
+        write!(f, "SigningKey(..)")
+    }
+}
+
+impl Signer<Signature> for SigningKey {
+    fn sign(&self, msg: &[u8]) -> Signature {
+        Signature {
+            bytes: keyed_hash64(&self.secret, 0x7369_676e, msg),
+        }
+    }
+}
+
+/// An ed25519-shaped verification key.
+#[derive(Clone)]
+pub struct VerifyingKey {
+    public: [u8; PUBLIC_KEY_LENGTH],
+    secret: [u8; SECRET_KEY_LENGTH],
+}
+
+impl VerifyingKey {
+    /// The 32-byte public encoding.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; PUBLIC_KEY_LENGTH] {
+        self.public
+    }
+
+    /// Strict verification (constant shape with `ed25519-dalek`'s
+    /// `verify_strict`): recomputes the MAC and compares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError`] when the signature does not verify.
+    pub fn verify_strict(&self, msg: &[u8], signature: &Signature) -> Result<(), SignatureError> {
+        let expect = keyed_hash64(&self.secret, 0x7369_676e, msg);
+        if expect == signature.bytes {
+            Ok(())
+        } else {
+            Err(SignatureError)
+        }
+    }
+}
+
+impl fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VerifyingKey(")?;
+        for b in &self.public {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Verifier<Signature> for VerifyingKey {
+    fn verify(&self, msg: &[u8], signature: &Signature) -> Result<(), SignatureError> {
+        self.verify_strict(msg, signature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u8) -> SigningKey {
+        SigningKey::from_bytes(&[tag; 32])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let sk = key(1);
+        let sig = sk.sign(b"msg");
+        assert!(sk.verifying_key().verify_strict(b"msg", &sig).is_ok());
+    }
+
+    #[test]
+    fn wrong_key_message_or_bitflip_rejected() {
+        let sk = key(1);
+        let sig = sk.sign(b"msg");
+        assert!(key(2).verifying_key().verify_strict(b"msg", &sig).is_err());
+        assert!(sk.verifying_key().verify_strict(b"msh", &sig).is_err());
+        for i in [0usize, 5, 31, 32, 63] {
+            let mut bytes = sig.to_bytes();
+            bytes[i] ^= 0x01;
+            let tampered = Signature::from_bytes(&bytes);
+            assert!(sk.verifying_key().verify_strict(b"msg", &tampered).is_err());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(key(3).sign(b"x").to_bytes(), key(3).sign(b"x").to_bytes());
+    }
+}

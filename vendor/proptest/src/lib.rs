@@ -1,0 +1,216 @@
+//! Offline stand-in for `proptest`: the macro and strategy surface this
+//! workspace's property tests use, implemented as plain random testing.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics immediately with the
+//!   generated inputs embedded in the panic message (every generated
+//!   binding is formatted into the failure report), instead of being
+//!   minimized first.
+//! * **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its own name, so runs are reproducible without a persistence
+//!   file. Set `PROPTEST_SEED=<u64>` to try a different universe.
+//! * `ProptestConfig` carries only the fields this workspace reads
+//!   (`cases`, `max_global_rejects`).
+//!
+//! See `vendor/README.md` for the full stub inventory.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s whose elements come from `element`
+    /// and whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait: types with a canonical strategy.
+
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Types with a canonical "any value" strategy, produced by
+    /// [`any`](crate::prelude::any).
+    pub trait Arbitrary: Sized {
+        /// Samples an arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    /// The strategy returned by [`any`](crate::prelude::any).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary + std::fmt::Debug> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary + std::fmt::Debug>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test needs in scope.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test.
+///
+/// In this stand-in it is a plain `assert!`: failure panics with the
+/// condition and the generated inputs (the harness adds them to the
+/// message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property test (plain `assert_eq!` here).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property test (plain `assert_ne!` here).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Rejects the current case, drawing a fresh one, when `cond` is false.
+///
+/// Must appear inside a `proptest!` body (it returns the harness's
+/// rejection sentinel).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::test_runner::CaseOutcome::Reject;
+        }
+    };
+}
+
+/// Picks uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Declares property-test functions.
+///
+/// Supports the real macro's common form: an optional
+/// `#![proptest_config(..)]` header followed by `fn` items whose
+/// arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::strategy::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    // Generate into a tuple first so the bindings below
+                    // can be arbitrary patterns (e.g. `mut xs`) while the
+                    // failure report still shows every generated value.
+                    let __case = ( $( $crate::strategy::Strategy::generate(&($strategy), &mut rng), )+ );
+                    let __inputs = format!(
+                        concat!("(", $(stringify!($arg), ", ",)+ ") = {:?}"),
+                        __case
+                    );
+                    let ( $($arg,)+ ) = __case;
+                    let outcome = $crate::test_runner::run_case(__inputs, move || {
+                        $body
+                        $crate::test_runner::CaseOutcome::Pass
+                    });
+                    match outcome {
+                        $crate::test_runner::CaseOutcome::Pass => accepted += 1,
+                        $crate::test_runner::CaseOutcome::Reject => {
+                            rejected += 1;
+                            assert!(
+                                rejected <= config.max_global_rejects,
+                                "proptest stand-in: too many prop_assume rejections ({}) in {}",
+                                rejected,
+                                stringify!($name)
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}

@@ -1,0 +1,93 @@
+//! Configuration, RNG, and per-case plumbing for the `proptest!` macro.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for a `proptest!` block (the fields this workspace
+/// uses; construct with struct-update syntax over `default()`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required per test.
+    pub cases: u32,
+    /// Cap on total `prop_assume!` rejections before the test errors.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Outcome of a single generated case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The body ran to completion.
+    Pass,
+    /// `prop_assume!` rejected the inputs; draw a fresh case.
+    Reject,
+}
+
+/// Deterministic RNG driving every strategy in one test function.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// An RNG seeded from the test's fully qualified name (stable across
+    /// runs) combined with the optional `PROPTEST_SEED` env var.
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = extra.trim().parse::<u64>() {
+                seed ^= v.rotate_left(32);
+            }
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// Runs one generated case, attaching the generated inputs to any panic.
+pub fn run_case<F>(inputs: String, body: F) -> CaseOutcome
+where
+    F: FnOnce() -> CaseOutcome,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            eprintln!("proptest stand-in: failing case (no shrinking): {inputs}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}

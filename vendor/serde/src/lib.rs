@@ -1,0 +1,31 @@
+//! Offline stand-in for `serde`: the `Serialize`/`Deserialize` trait
+//! names plus no-op derive macros, enough for types annotated with
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attributes to
+//! compile. No data format is vendored, so nothing actually serializes;
+//! see `vendor/README.md` for how to restore the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The vendored derive does not implement it; it exists so code with
+/// `T: Serialize` bounds (none in this workspace today) still names a
+/// real trait.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Stand-in for the `serde::de` module namespace.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module namespace.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored serde
+//! stand-in. They accept (and discard) `#[serde(...)]` helper attributes
+//! so annotated types compile; no serialization code is generated because
+//! no data-format backend is vendored. See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
