@@ -1,0 +1,198 @@
+//! Records and checks committed perf snapshots of the simulation engine.
+//!
+//! ```text
+//! perf_snapshot                                  # print a table, touch nothing
+//! perf_snapshot --json BENCH_cps.json --section baseline [--label TEXT]
+//! perf_snapshot --json BENCH_cps.json            # refresh the "current" section
+//! perf_snapshot --check BENCH_cps.json           # CI: fail on count drift
+//! ```
+//!
+//! Writing merges with an existing file: recording `current` preserves the
+//! committed `baseline`, and vice versa. The check mode replays the same
+//! scenarios and fails if `events_processed` or `messages_delivered` differ
+//! from *any* committed section — those counts are seed-deterministic, so
+//! drift means the engine changed behaviour, not just speed. Wall-clock is
+//! reported (speedup vs. baseline) but never gated.
+
+use std::process::ExitCode;
+
+use crusader_bench::snapshot::{
+    from_json, measure_cps, to_json, CpsSnapshot, SnapshotRow, SnapshotSection,
+    CPS_SNAPSHOT_PULSES,
+};
+
+const DEFAULT_REPS: usize = 7;
+
+struct Args {
+    json: Option<String>,
+    check: Option<String>,
+    section: String,
+    label: Option<String>,
+    reps: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: None,
+        check: None,
+        section: "current".to_owned(),
+        label: None,
+        reps: DEFAULT_REPS,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--json" => args.json = Some(value("--json")?),
+            "--check" => args.check = Some(value("--check")?),
+            "--section" => args.section = value("--section")?,
+            "--label" => args.label = Some(value("--label")?),
+            "--reps" => {
+                args.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if !matches!(args.section.as_str(), "baseline" | "current") {
+        return Err(format!(
+            "--section must be 'baseline' or 'current', got {:?}",
+            args.section
+        ));
+    }
+    if args.json.is_some() && args.check.is_some() {
+        return Err("--json and --check are mutually exclusive".to_owned());
+    }
+    Ok(args)
+}
+
+fn print_rows(rows: &[SnapshotRow]) {
+    crusader_bench::header(&["n", "wall_clock_us", "events", "messages"]);
+    for r in rows {
+        println!(
+            "| {} | {:.3} | {} | {} |",
+            r.n, r.wall_clock_us, r.events_processed, r.messages_delivered
+        );
+    }
+}
+
+fn record(path: &str, section_name: &str, label: Option<String>, reps: usize) -> ExitCode {
+    let rows = measure_cps(reps);
+    print_rows(&rows);
+    let mut snap = match std::fs::read_to_string(path) {
+        Ok(text) => match from_json(&text) {
+            Ok(snap) => snap,
+            Err(e) => {
+                eprintln!("error: {path} exists but does not parse: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => CpsSnapshot::default(),
+        Err(e) => {
+            // Any other read failure must not silently clobber a committed
+            // baseline with a fresh single-section file.
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    snap.pulses = CPS_SNAPSHOT_PULSES;
+    let section = SnapshotSection {
+        label: label.unwrap_or_else(|| format!("{section_name} engine")),
+        rows,
+    };
+    match section_name {
+        "baseline" => snap.baseline = Some(section),
+        _ => snap.current = Some(section),
+    }
+    if let Err(e) = std::fs::write(path, to_json(&snap)) {
+        eprintln!("error: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote section '{section_name}' to {path}");
+    ExitCode::SUCCESS
+}
+
+fn check(path: &str, reps: usize) -> ExitCode {
+    let snap = match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|t| from_json(&t)) {
+        Ok(snap) => snap,
+        Err(e) => {
+            eprintln!("error: cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let measured = measure_cps(reps);
+    print_rows(&measured);
+    let mut drift = false;
+    for (name, section) in [("baseline", &snap.baseline), ("current", &snap.current)] {
+        let Some(section) = section else { continue };
+        for committed in &section.rows {
+            let Some(now) = measured.iter().find(|r| r.n == committed.n) else {
+                eprintln!("DRIFT: committed {name} has n={} but the harness no longer measures it", committed.n);
+                drift = true;
+                continue;
+            };
+            if (now.events_processed, now.messages_delivered)
+                != (committed.events_processed, committed.messages_delivered)
+            {
+                eprintln!(
+                    "DRIFT: n={} {name} committed events/messages {}/{} but this engine produces {}/{}",
+                    committed.n,
+                    committed.events_processed,
+                    committed.messages_delivered,
+                    now.events_processed,
+                    now.messages_delivered
+                );
+                drift = true;
+            }
+        }
+    }
+    if let Some(baseline) = &snap.baseline {
+        println!("\nwall-clock vs committed baseline (informational, not gated):");
+        for committed in &baseline.rows {
+            if let Some(now) = measured.iter().find(|r| r.n == committed.n) {
+                println!(
+                    "  n={:>3}: {:>10.3} us -> {:>10.3} us  ({:.2}x)",
+                    committed.n,
+                    committed.wall_clock_us,
+                    now.wall_clock_us,
+                    committed.wall_clock_us / now.wall_clock_us
+                );
+            }
+        }
+    }
+    if drift {
+        eprintln!("\nFAIL: event/message counts drifted from {path}");
+        eprintln!(
+            "(if the change is intentional, re-record every committed section: \
+             --json {path} --section baseline, then --json {path} --section current)"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("\nOK: counts match every committed section of {path}");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: perf_snapshot [--json PATH [--section baseline|current] [--label TEXT]] \
+                 [--check PATH] [--reps N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match (&args.json, &args.check) {
+        (Some(path), None) => record(path, &args.section, args.label, args.reps),
+        (None, Some(path)) => check(path, args.reps),
+        (None, None) => {
+            print_rows(&measure_cps(args.reps));
+            ExitCode::SUCCESS
+        }
+        (Some(_), Some(_)) => unreachable!("rejected in parse_args"),
+    }
+}

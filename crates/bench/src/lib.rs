@@ -12,6 +12,8 @@ use crusader_sim::{Adversary, Automaton, DelayModel, SimBuilder, Trace};
 use crusader_time::drift::DriftModel;
 use crusader_time::{Dur, Time};
 
+pub mod snapshot;
+
 /// One measured run.
 #[derive(Clone, Debug)]
 pub struct Measurement {
@@ -143,14 +145,31 @@ impl Scenario {
         &self,
         adversary: Box<dyn Adversary<crusader_core::Carry>>,
     ) -> (Measurement, Derived) {
+        let (trace, derived) = self.run_cps_trace(adversary);
+        let stats = pulse_stats(&trace, &self.honest());
+        (Measurement::from_stats(&stats, &trace), derived)
+    }
+
+    /// Runs CPS under this scenario and returns the raw [`Trace`].
+    ///
+    /// Used by the perf-snapshot harness (which needs
+    /// [`Trace::events_processed`]) and by the determinism regression test
+    /// (which pins a hash over the full observable trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario parameters are infeasible for Theorem 17.
+    pub fn run_cps_trace(
+        &self,
+        adversary: Box<dyn Adversary<crusader_core::Carry>>,
+    ) -> (Trace, Derived) {
         let params = self.params();
         let derived = params.derive().expect("feasible scenario");
         let trace = self
             .builder(derived.s)
             .build(|me| CpsNode::new(me, params, derived), adversary)
             .run();
-        let stats = pulse_stats(&trace, &self.honest());
-        (Measurement::from_stats(&stats, &trace), derived)
+        (trace, derived)
     }
 
     /// Runs an arbitrary automaton under this scenario.

@@ -1,0 +1,497 @@
+//! Committed perf snapshots (`BENCH_*.json`).
+//!
+//! The ROADMAP's "perf baselines" item: criterion benches report numbers,
+//! but nothing *records* them, so a perf PR cannot prove a speedup. This
+//! module measures [`Scenario::run_cps`] for a fixed grid of system sizes
+//! and reads/writes `BENCH_cps.json` at the repo root:
+//!
+//! * the `baseline` section is committed **before** an optimization lands
+//!   (`perf_snapshot --json BENCH_cps.json --section baseline`);
+//! * the `current` section is refreshed afterwards
+//!   (`... --section current`), making the speedup a diffable fact;
+//! * CI replays the scenarios and fails if `events_processed` /
+//!   `messages_delivered` drift from the committed counts
+//!   (`perf_snapshot --check BENCH_cps.json`) — wall-clock is reported but
+//!   never gated, since runners vary.
+//!
+//! The vendored `serde` stand-in has no data-format backend
+//! (vendor/README.md), so the JSON codec here is hand-rolled: a writer for
+//! exactly this schema and a minimal recursive-descent reader.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crusader_sim::SilentAdversary;
+use crusader_time::Dur;
+
+use crate::Scenario;
+
+/// System sizes measured by the CPS snapshot (mirrors the `cps_sim`
+/// criterion bench).
+pub const CPS_SNAPSHOT_NS: &[usize] = &[4, 8, 16];
+
+/// Pulses per measured run (mirrors the `cps_sim` criterion bench).
+pub const CPS_SNAPSHOT_PULSES: u64 = 8;
+
+/// Schema tag written into the file, bumped on layout changes.
+pub const SCHEMA: &str = "crusader-bench-cps/v1";
+
+/// One measured row: a full `run_cps` at system size `n`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotRow {
+    /// System size.
+    pub n: usize,
+    /// Best-of-reps wall clock for one full run, in microseconds.
+    pub wall_clock_us: f64,
+    /// Events processed by the engine (deterministic per seed).
+    pub events_processed: u64,
+    /// Messages delivered (deterministic per seed).
+    pub messages_delivered: u64,
+}
+
+/// A labelled set of rows (the `baseline` or `current` section).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotSection {
+    /// Human-readable provenance ("pre-optimization seed engine", …).
+    pub label: String,
+    /// One row per measured system size.
+    pub rows: Vec<SnapshotRow>,
+}
+
+/// The whole `BENCH_cps.json` document.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CpsSnapshot {
+    /// Pulses per run at measurement time.
+    pub pulses: u64,
+    /// The committed pre-optimization numbers.
+    pub baseline: Option<SnapshotSection>,
+    /// The numbers for the checked-out engine.
+    pub current: Option<SnapshotSection>,
+}
+
+/// The scenario measured for row `n` — one place, so the snapshot, the
+/// criterion bench, and the CI check cannot drift apart.
+#[must_use]
+pub fn cps_scenario(n: usize) -> Scenario {
+    let mut s = Scenario::new(n, Dur::from_millis(1.0), Dur::from_micros(10.0), 1.0001);
+    s.pulses = CPS_SNAPSHOT_PULSES;
+    s
+}
+
+/// Measures every size in [`CPS_SNAPSHOT_NS`]: `reps` timed runs per size
+/// (after one warm-up), keeping the minimum wall clock.
+///
+/// # Panics
+///
+/// Panics if repeated runs disagree on event/message counts — that would
+/// mean the engine lost seed-determinism, which no snapshot should paper
+/// over.
+#[must_use]
+pub fn measure_cps(reps: usize) -> Vec<SnapshotRow> {
+    CPS_SNAPSHOT_NS
+        .iter()
+        .map(|&n| {
+            let s = cps_scenario(n);
+            let (reference, _) = s.run_cps_trace(Box::new(SilentAdversary)); // warm-up
+            let mut best_us = f64::INFINITY;
+            for _ in 0..reps.max(1) {
+                let started = Instant::now();
+                let (trace, _) = s.run_cps_trace(Box::new(SilentAdversary));
+                let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
+                best_us = best_us.min(elapsed_us);
+                assert_eq!(
+                    (trace.events_processed, trace.messages_delivered),
+                    (reference.events_processed, reference.messages_delivered),
+                    "non-deterministic run at n={n}"
+                );
+            }
+            SnapshotRow {
+                n,
+                wall_clock_us: best_us,
+                events_processed: reference.events_processed,
+                messages_delivered: reference.messages_delivered,
+            }
+        })
+        .collect()
+}
+
+/// Serializes a snapshot to the committed JSON layout.
+#[must_use]
+pub fn to_json(snap: &CpsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"pulses\": {},", snap.pulses);
+    let sections: Vec<(&str, &SnapshotSection)> = [
+        ("baseline", snap.baseline.as_ref()),
+        ("current", snap.current.as_ref()),
+    ]
+    .into_iter()
+    .filter_map(|(name, s)| s.map(|s| (name, s)))
+    .collect();
+    for (i, (name, section)) in sections.iter().enumerate() {
+        let _ = writeln!(out, "  \"{name}\": {{");
+        let _ = writeln!(out, "    \"label\": \"{}\",", escape(&section.label));
+        out.push_str("    \"rows\": [\n");
+        for (j, row) in section.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "      {{\"n\": {}, \"wall_clock_us\": {:.3}, \
+                 \"events_processed\": {}, \"messages_delivered\": {}}}",
+                row.n, row.wall_clock_us, row.events_processed, row.messages_delivered
+            );
+            out.push_str(if j + 1 < section.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("    ]\n");
+        out.push_str(if i + 1 < sections.len() { "  },\n" } else { "  }\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses a snapshot written by [`to_json`].
+///
+/// # Errors
+///
+/// Returns a description of the first syntax or schema problem.
+pub fn from_json(text: &str) -> Result<CpsSnapshot, String> {
+    let value = Json::parse(text)?;
+    let top = value.as_object()?;
+    let schema = get(top, "schema")?.as_str()?;
+    if schema != SCHEMA {
+        return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+    }
+    let mut snap = CpsSnapshot {
+        pulses: get(top, "pulses")?.as_u64()?,
+        ..CpsSnapshot::default()
+    };
+    for (name, slot) in [
+        ("baseline", &mut snap.baseline),
+        ("current", &mut snap.current),
+    ] {
+        let Some((_, section)) = top.iter().find(|(k, _)| k == name) else {
+            continue;
+        };
+        let section = section.as_object()?;
+        let rows = get(section, "rows")?
+            .as_array()?
+            .iter()
+            .map(|row| {
+                let row = row.as_object()?;
+                Ok(SnapshotRow {
+                    n: usize::try_from(get(row, "n")?.as_u64()?)
+                        .map_err(|e| e.to_string())?,
+                    wall_clock_us: get(row, "wall_clock_us")?.as_f64()?,
+                    events_processed: get(row, "events_processed")?.as_u64()?,
+                    messages_delivered: get(row, "messages_delivered")?.as_u64()?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        *slot = Some(SnapshotSection {
+            label: get(section, "label")?.as_str()?.to_owned(),
+            rows,
+        });
+    }
+    Ok(snap)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key {key:?}"))
+}
+
+/// A deliberately small JSON value — just enough to read files written by
+/// [`to_json`] (objects, arrays, strings with basic escapes, numbers).
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(f64),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = Self::value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let Json::String(key) = Self::value(b, pos)? else {
+                        return Err(format!("object key must be a string at byte {pos}"));
+                    };
+                    skip_ws(b, pos);
+                    expect(b, pos, b':')?;
+                    fields.push((key, Self::value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Json::Object(fields));
+                        }
+                        other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                loop {
+                    items.push(Self::value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Json::Array(items));
+                        }
+                        other => return Err(format!("expected ',' or ']', got {other:?}")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                *pos += 1;
+                // Accumulate raw bytes and decode once, so multi-byte
+                // UTF-8 sequences survive intact.
+                let mut raw = Vec::new();
+                loop {
+                    match b.get(*pos) {
+                        Some(b'"') => {
+                            *pos += 1;
+                            return String::from_utf8(raw)
+                                .map(Json::String)
+                                .map_err(|e| format!("invalid UTF-8 in string: {e}"));
+                        }
+                        Some(b'\\') => {
+                            *pos += 1;
+                            match b.get(*pos) {
+                                Some(b'"') => raw.push(b'"'),
+                                Some(b'\\') => raw.push(b'\\'),
+                                Some(b'n') => raw.push(b'\n'),
+                                Some(b't') => raw.push(b'\t'),
+                                Some(b'r') => raw.push(b'\r'),
+                                Some(b'u') => {
+                                    let hex = b
+                                        .get(*pos + 1..*pos + 5)
+                                        .and_then(|h| std::str::from_utf8(h).ok())
+                                        .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                        .and_then(char::from_u32)
+                                        .ok_or_else(|| {
+                                            format!("bad \\u escape at byte {pos}")
+                                        })?;
+                                    let mut buf = [0u8; 4];
+                                    raw.extend_from_slice(hex.encode_utf8(&mut buf).as_bytes());
+                                    *pos += 4;
+                                }
+                                other => return Err(format!("bad escape {other:?}")),
+                            }
+                            *pos += 1;
+                        }
+                        Some(&c) => {
+                            raw.push(c);
+                            *pos += 1;
+                        }
+                        None => return Err("unterminated string".to_owned()),
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let start = *pos;
+                while b
+                    .get(*pos)
+                    .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+                {
+                    *pos += 1;
+                }
+                std::str::from_utf8(&b[start..*pos])
+                    .map_err(|e| e.to_string())?
+                    .parse::<f64>()
+                    .map(Json::Number)
+                    .map_err(|e| format!("bad number at byte {start}: {e}"))
+            }
+            other => Err(format!("unexpected {other:?} at byte {pos}")),
+        }
+    }
+
+    fn as_object(&self) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Object(fields) => Ok(fields),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+
+    fn as_array(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Array(items) => Ok(items),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::String(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Json::Number(x) => Ok(*x),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        let x = self.as_f64()?;
+        if x < 0.0 || x.fract() != 0.0 || x > 2f64.powi(53) {
+            return Err(format!("expected unsigned integer, got {x}"));
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        Ok(x as u64)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while b.get(*pos).is_some_and(u8::is_ascii_whitespace) {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {pos}", want as char))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CpsSnapshot {
+        CpsSnapshot {
+            pulses: 8,
+            baseline: Some(SnapshotSection {
+                label: "pre-optimization \"seed\" engine".to_owned(),
+                rows: vec![SnapshotRow {
+                    n: 4,
+                    wall_clock_us: 103.5,
+                    events_processed: 1234,
+                    messages_delivered: 567,
+                }],
+            }),
+            current: None,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let snap = sample();
+        let text = to_json(&snap);
+        let back = from_json(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn roundtrip_with_both_sections() {
+        let mut snap = sample();
+        snap.current = Some(SnapshotSection {
+            label: "slab engine".to_owned(),
+            rows: vec![
+                SnapshotRow {
+                    n: 4,
+                    wall_clock_us: 51.75,
+                    events_processed: 1234,
+                    messages_delivered: 567,
+                },
+                SnapshotRow {
+                    n: 8,
+                    wall_clock_us: 200.0,
+                    events_processed: 9999,
+                    messages_delivered: 8888,
+                },
+            ],
+        });
+        assert_eq!(from_json(&to_json(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn roundtrips_non_ascii_and_control_labels() {
+        let mut snap = sample();
+        snap.baseline.as_mut().unwrap().label = "2× faster, μs timings\twith\u{1}ctl".to_owned();
+        assert_eq!(from_json(&to_json(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let text = to_json(&sample()).replace(SCHEMA, "other/v9");
+        assert!(from_json(&text).unwrap_err().contains("unsupported schema"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_json("{").is_err());
+        assert!(from_json("{}").is_err());
+        assert!(from_json("[1, 2").is_err());
+        assert!(from_json("{\"schema\": \"crusader-bench-cps/v1\"} x").is_err());
+    }
+
+    #[test]
+    fn measure_is_deterministic_in_counts() {
+        // Tiny measurement (reps=1) twice: counts must agree exactly.
+        let a = measure_cps(1);
+        let b = measure_cps(1);
+        let counts = |rows: &[SnapshotRow]| {
+            rows.iter()
+                .map(|r| (r.n, r.events_processed, r.messages_delivered))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(counts(&a), counts(&b));
+    }
+}

@@ -1,0 +1,97 @@
+//! Trace-hash regression test: a fixed-seed [`Scenario::run_cps`] must
+//! produce *exactly* the same observable trace — pulse times bit-for-bit,
+//! event and message counts, violation list — on every engine version.
+//!
+//! The expected hashes below were pinned on the pre-optimization engine
+//! (PR 1 state, commit 8b298d3). Any engine refactor that changes them has
+//! changed observable behaviour, not just speed, and must be treated as a
+//! correctness regression (or consciously re-pinned with a justification).
+
+use crusader_bench::snapshot::cps_scenario;
+use crusader_sim::{SilentAdversary, Trace};
+
+/// FNV-1a, the same construction the symbolic signature scheme uses; no
+/// external dependency and stable across platforms.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+}
+
+/// Canonical hash of everything a trace observably contains. Times enter
+/// as IEEE-754 bit patterns, so even a 1-ulp drift flips the hash.
+fn trace_hash(trace: &Trace) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(trace.pulses.len() as u64);
+    for pulses in &trace.pulses {
+        h.write_u64(pulses.len() as u64);
+        for t in pulses {
+            h.write_u64(t.as_secs().to_bits());
+        }
+    }
+    h.write_u64(trace.violations.len() as u64);
+    for v in &trace.violations {
+        h.write(v.as_bytes());
+        h.write(&[0xff]); // separator
+    }
+    h.write_u64(trace.forgeries_blocked);
+    h.write_u64(trace.messages_delivered);
+    h.write_u64(trace.events_processed);
+    h.write_u64(trace.finished_at.as_secs().to_bits());
+    h.0
+}
+
+/// `(n, expected trace hash)` for the snapshot scenario at each size.
+const PINNED: &[(usize, u64)] = &[
+    (4, 0x1277e2210ec74e1f),
+    (8, 0xeb28601f3439c630),
+    (16, 0xc49491b40c2c1e51),
+];
+
+#[test]
+fn fixed_seed_cps_traces_are_pinned() {
+    for &(n, expected) in PINNED {
+        let (trace, _) = cps_scenario(n).run_cps_trace(Box::new(SilentAdversary));
+        let got = trace_hash(&trace);
+        assert_eq!(
+            got, expected,
+            "n={n}: trace hash {got:#018x} != pinned {expected:#018x} — \
+             the engine's observable behaviour changed \
+             (events={}, messages={}, violations={:?})",
+            trace.events_processed, trace.messages_delivered, trace.violations
+        );
+    }
+}
+
+#[test]
+fn trace_hash_is_stable_across_runs() {
+    let run = || {
+        let (trace, _) = cps_scenario(8).run_cps_trace(Box::new(SilentAdversary));
+        trace_hash(&trace)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn trace_hash_distinguishes_seeds() {
+    let mut a = cps_scenario(8);
+    let mut b = cps_scenario(8);
+    a.seed = 1;
+    b.seed = 2;
+    let (ta, _) = a.run_cps_trace(Box::new(SilentAdversary));
+    let (tb, _) = b.run_cps_trace(Box::new(SilentAdversary));
+    assert_ne!(trace_hash(&ta), trace_hash(&tb));
+}
