@@ -57,13 +57,18 @@ pub struct ChainMsg {
 }
 
 impl CarriesSignatures for ChainMsg {
+    fn for_each_claim(&self, f: &mut dyn FnMut(SignedClaim)) {
+        // One byte-buffer per message; every claim shares it by refcount.
+        let bytes = chain_sign_bytes(self.epoch);
+        for (signer, sig) in &self.sigs {
+            f(SignedClaim::new(*signer, bytes.clone(), sig.clone()));
+        }
+    }
+
     fn claims(&self) -> Vec<SignedClaim> {
-        self.sigs
-            .iter()
-            .map(|(signer, sig)| {
-                SignedClaim::new(*signer, chain_sign_bytes(self.epoch), sig.clone())
-            })
-            .collect()
+        let mut claims = Vec::with_capacity(self.sigs.len());
+        self.for_each_claim(&mut |claim| claims.push(claim));
+        claims
     }
 }
 

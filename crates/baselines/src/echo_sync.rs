@@ -48,13 +48,18 @@ pub struct EchoMsg {
 }
 
 impl CarriesSignatures for EchoMsg {
+    fn for_each_claim(&self, f: &mut dyn FnMut(SignedClaim)) {
+        // One byte-buffer per message; every claim shares it by refcount.
+        let bytes = echo_sign_bytes(self.round);
+        for (signer, sig) in &self.sigs {
+            f(SignedClaim::new(*signer, bytes.clone(), sig.clone()));
+        }
+    }
+
     fn claims(&self) -> Vec<SignedClaim> {
-        self.sigs
-            .iter()
-            .map(|(signer, sig)| {
-                SignedClaim::new(*signer, echo_sign_bytes(self.round), sig.clone())
-            })
-            .collect()
+        let mut claims = Vec::with_capacity(self.sigs.len());
+        self.for_each_claim(&mut |claim| claims.push(claim));
+        claims
     }
 }
 

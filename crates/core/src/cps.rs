@@ -15,11 +15,11 @@
 
 use std::collections::HashMap;
 
-use crusader_crypto::NodeId;
+use crusader_crypto::{FxBuildHasher, NodeId, Signature};
 use crusader_sim::{Automaton, Context, TimerId};
 use crusader_time::{Dur, LocalTime};
 
-use crate::messages::{pulse_sign_bytes, Carry};
+use crate::messages::{pulse_sign_bytes_cached, Carry};
 use crate::midpoint;
 use crate::params::{Derived, ParamError, Params};
 use crate::tcb::{DirectOutcome, TcbDecision, TcbInstance, TcbWindows};
@@ -72,7 +72,16 @@ pub struct CpsNode {
     instances: Vec<TcbInstance>,
     undecided: usize,
     next_scheduled: bool,
-    timers: HashMap<TimerId, TimerKind>,
+    timers: HashMap<TimerId, TimerKind, FxBuildHasher>,
+    /// Per dealer, the signature already verified for the current round.
+    ///
+    /// Within one round a node sees the same `⟨r⟩_u` up to `n` times (the
+    /// direct message plus one echo per peer); the memo collapses those
+    /// repeat verifications into an equality check on the signature. A
+    /// *different* signature for the same dealer is still verified from
+    /// scratch, so schemes admitting several valid signatures per message
+    /// stay correct — this is a pure-function memo, not a trust decision.
+    verified: Vec<Option<Signature>>,
     /// Diagnostic: the Δ corrections applied so far.
     corrections: Vec<Dur>,
 }
@@ -92,7 +101,8 @@ impl CpsNode {
             instances: Vec::new(),
             undecided: 0,
             next_scheduled: false,
-            timers: HashMap::new(),
+            timers: HashMap::default(),
+            verified: Vec::new(),
             corrections: Vec::new(),
         }
     }
@@ -136,9 +146,11 @@ impl CpsNode {
         self.round += 1;
         self.pulse_local = ctx.local_time();
         ctx.pulse(self.round);
-        self.instances = (0..self.params.n)
-            .map(|_| TcbInstance::new(self.pulse_local))
-            .collect();
+        self.instances.clear();
+        self.instances
+            .resize_with(self.params.n, || TcbInstance::new(self.pulse_local));
+        self.verified.clear();
+        self.verified.resize(self.params.n, None);
         self.undecided = self.params.n;
         self.next_scheduled = false;
         let send_at = self.pulse_local + self.windows.send_offset;
@@ -213,11 +225,24 @@ impl Automaton for CpsNode {
             // construction — see module docs of `tcb`.
             return;
         }
-        if msg.dealer.index() >= self.params.n || !msg.verify(ctx.verifier()) {
+        let dealer = msg.dealer.index();
+        if dealer >= self.params.n {
             return;
         }
+        // Memoized verification (see `verified`): repeats of the round's
+        // already-verified signature skip the signature check entirely.
+        match &self.verified[dealer] {
+            Some(sig) if *sig == msg.signature => {}
+            _ => {
+                if !msg.verify(ctx.verifier()) {
+                    return;
+                }
+                if self.verified[dealer].is_none() {
+                    self.verified[dealer] = Some(msg.signature.clone());
+                }
+            }
+        }
         let h = ctx.local_time();
-        let dealer = msg.dealer.index();
         if from == msg.dealer {
             match self.instances[dealer].on_direct(h, &self.windows) {
                 DirectOutcome::Accepted { decide_at } => {
@@ -259,7 +284,7 @@ impl Automaton for CpsNode {
                 if round != self.round {
                     return;
                 }
-                let bytes = pulse_sign_bytes(round, self.me);
+                let bytes = pulse_sign_bytes_cached(round, self.me);
                 let signature = ctx.signer().sign(&bytes);
                 ctx.broadcast(Carry {
                     round,

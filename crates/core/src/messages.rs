@@ -1,7 +1,10 @@
 //! Wire messages of the crusader pulse-synchronization protocol.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+
 use bytes::Bytes;
-use crusader_crypto::{CarriesSignatures, NodeId, Signature, SignedClaim};
+use crusader_crypto::{CarriesSignatures, FxBuildHasher, NodeId, Signature, SignedClaim};
 
 /// Domain-separation tag for pulse signatures (prevents cross-protocol
 /// signature reuse).
@@ -11,6 +14,9 @@ pub const PULSE_DOMAIN: &[u8] = b"crusader/cps/pulse/v1";
 ///
 /// Encoding the round number means faulty nodes cannot replay "old"
 /// signatures to disrupt a later instance (Figure 2's caption).
+///
+/// This always builds a fresh buffer; the verification/learning hot path
+/// goes through [`pulse_sign_bytes_cached`] instead.
 #[must_use]
 pub fn pulse_sign_bytes(round: u64, dealer: NodeId) -> Bytes {
     let mut buf = Vec::with_capacity(PULSE_DOMAIN.len() + 10);
@@ -18,6 +24,56 @@ pub fn pulse_sign_bytes(round: u64, dealer: NodeId) -> Bytes {
     buf.extend_from_slice(&round.to_le_bytes());
     buf.extend_from_slice(&(dealer.index() as u16).to_le_bytes());
     Bytes::from(buf)
+}
+
+thread_local! {
+    static SIGN_BYTES_CACHE: RefCell<SignBytesCache> = RefCell::new(SignBytesCache {
+        map: HashMap::default(),
+        max_round: 0,
+    });
+}
+
+/// Per-thread memo of `(round, dealer) → ⟨r⟩_u`.
+///
+/// Every delivered `Carry` needs these bytes (verification, knowledge
+/// learning), and within one round all `n` nodes need the *same* `n`
+/// values — without the memo that is an allocation per delivered message.
+/// Entries older than the previous round are evicted whenever a new
+/// maximum round appears, so the footprint is ~2 rounds × n dealers; a
+/// hard cap guards pathological mixes of concurrent simulations.
+struct SignBytesCache {
+    map: HashMap<(u64, u16), Bytes, FxBuildHasher>,
+    max_round: u64,
+}
+
+/// Cap before the cache is wholesale cleared (never approached by one
+/// simulation: two rounds of even a 1000-node system stay below it).
+const SIGN_BYTES_CACHE_CAP: usize = 8192;
+
+/// [`pulse_sign_bytes`], memoized per `(round, dealer)`.
+///
+/// Returns a cheaply-cloned handle to the cached buffer ([`Bytes`] is
+/// reference-counted). The values are pure functions of the arguments, so
+/// caching is observation-free apart from speed.
+#[must_use]
+pub fn pulse_sign_bytes_cached(round: u64, dealer: NodeId) -> Bytes {
+    let dealer_raw = dealer.index() as u16;
+    SIGN_BYTES_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if round > cache.max_round {
+            let keep_from = round.saturating_sub(1);
+            cache.map.retain(|&(r, _), _| r >= keep_from);
+            cache.max_round = round;
+        }
+        if cache.map.len() >= SIGN_BYTES_CACHE_CAP {
+            cache.map.clear();
+        }
+        cache
+            .map
+            .entry((round, dealer_raw))
+            .or_insert_with(|| pulse_sign_bytes(round, dealer))
+            .clone()
+    })
 }
 
 /// The single message type of CPS/TCB: a carried pulse signature `⟨r⟩_u`.
@@ -42,19 +98,25 @@ impl Carry {
     pub fn verify(&self, verifier: &dyn crusader_crypto::Verifier) -> bool {
         verifier.verify(
             self.dealer,
-            &pulse_sign_bytes(self.round, self.dealer),
+            &pulse_sign_bytes_cached(self.round, self.dealer),
             &self.signature,
         )
     }
 }
 
 impl CarriesSignatures for Carry {
-    fn claims(&self) -> Vec<SignedClaim> {
-        vec![SignedClaim::new(
+    fn for_each_claim(&self, f: &mut dyn FnMut(SignedClaim)) {
+        f(SignedClaim::new(
             self.dealer,
-            pulse_sign_bytes(self.round, self.dealer),
+            pulse_sign_bytes_cached(self.round, self.dealer),
             self.signature.clone(),
-        )]
+        ));
+    }
+
+    fn claims(&self) -> Vec<SignedClaim> {
+        let mut claims = Vec::with_capacity(1);
+        self.for_each_claim(&mut |claim| claims.push(claim));
+        claims
     }
 }
 

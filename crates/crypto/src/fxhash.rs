@@ -1,0 +1,117 @@
+//! A Firefox-style multiply-xor hasher for small, trusted keys.
+//!
+//! `std`'s default `SipHash` is DoS-resistant but costs tens of cycles
+//! even for a `u64` key; the simulator's hot maps (signature-knowledge
+//! keys, per-node timer tables, sign-bytes memos) are keyed by values the
+//! process itself generates, so collision-flooding is not a threat and the
+//! cheap mix wins. Do not use it for maps keyed by external input.
+//!
+//! Like the original Fx hash, the mix has no finalizer and `write` zero-pads
+//! its trailing chunk, so variable-length inputs can alias (`""` vs `"\0"`).
+//! Use it for fixed-width keys; for variable-length data fold the length in
+//! yourself (as `KnowledgeTracker`'s claim fingerprints do).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The `BuildHasher` to plug into `HashMap`/`HashSet` type parameters.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// One multiply-xor step per word of input; see the module docs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    pub(crate) fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_input_sensitive() {
+        assert_eq!(hash_of(b"hello world"), hash_of(b"hello world"));
+        assert_ne!(hash_of(b"hello world"), hash_of(b"hello worlc"));
+        // Documented caveat: zero-padding aliases variable-length inputs
+        // (`""` and `"\0"` collide); fixed-width keys are unaffected.
+        assert_eq!(hash_of(b""), hash_of(b"\0"));
+    }
+
+    #[test]
+    fn word_writes_differ_from_each_other() {
+        let mut a = FxHasher::default();
+        a.write_u64(7);
+        let mut b = FxHasher::default();
+        b.write_u64(8);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn works_as_hashmap_hasher() {
+        let mut map: std::collections::HashMap<u64, &str, FxBuildHasher> =
+            std::collections::HashMap::default();
+        map.insert(1, "one");
+        map.insert(2, "two");
+        assert_eq!(map.get(&1), Some(&"one"));
+        assert_eq!(map.get(&3), None);
+    }
+}

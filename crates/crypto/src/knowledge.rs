@@ -5,6 +5,7 @@ use std::fmt;
 use bytes::Bytes;
 use crusader_time::Time;
 
+use crate::fxhash::{FxBuildHasher, FxHasher};
 use crate::{NodeId, Signature};
 
 /// A claim that `signer` signed `message`, together with the signature.
@@ -51,9 +52,27 @@ impl fmt::Debug for SignedClaim {
 ///
 /// A faulty node may only send a message whose honest-signed claims it has
 /// *already received* — the paper's execution well-formedness condition.
-/// Messages that carry no signatures return an empty vector (the default).
+///
+/// Implementors override [`for_each_claim`](Self::for_each_claim) (the
+/// non-allocating visitor the engine's hot path uses); overriding only the
+/// legacy [`claims`](Self::claims) also works, since the visitor's default
+/// falls back to it. A type that overrides neither carries no signatures.
 pub trait CarriesSignatures {
-    /// The signed claims embedded in this message.
+    /// Visits every signed claim embedded in this message, in order.
+    ///
+    /// This is the engine's primary API: learning and authorization walk
+    /// claims through this visitor, so a message type that implements it
+    /// directly pays no `Vec` allocation per delivery.
+    fn for_each_claim(&self, f: &mut dyn FnMut(SignedClaim)) {
+        for claim in self.claims() {
+            f(claim);
+        }
+    }
+
+    /// The signed claims embedded in this message, as an allocated vector.
+    ///
+    /// Kept as a convenience shim (and as the override point for legacy
+    /// implementations); the default carries no signatures.
     fn claims(&self) -> Vec<SignedClaim> {
         Vec::new()
     }
@@ -83,6 +102,53 @@ impl fmt::Display for KnowledgeError {
 
 impl std::error::Error for KnowledgeError {}
 
+/// The pre-hashed form of a [`SignedClaim`] used as the tracker's map key.
+///
+/// Storing the full claim made every map probe re-hash the message bytes
+/// and the signature through `SipHash`, and every insert clone them. The
+/// compact key fingerprints both once (a word-at-a-time multiply-xor mix)
+/// and keeps only `(signer, 2 × u64)` — `Copy`, integer-compared, cheaply
+/// re-hashed.
+///
+/// Two *different* claims by the same signer collapse onto one key only if
+/// both 64-bit fingerprints collide (~2⁻¹²⁸ per pair on these short
+/// inputs). The tracker is a simulation artifact — its inputs come from
+/// protocol code, not from an attacker hunting hash collisions — so this
+/// is far below any probability the experiments can observe.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct ClaimKey {
+    signer: NodeId,
+    msg_fp: u64,
+    sig_fp: u64,
+}
+
+impl ClaimKey {
+    #[inline]
+    fn of(claim: &SignedClaim) -> Self {
+        ClaimKey {
+            signer: claim.signer,
+            msg_fp: fingerprint(0x6d73_675f_6670, &claim.message), // "msg_fp"
+            sig_fp: match &claim.signature {
+                Signature::Symbolic(tag) => fingerprint(0x7379_6d62, &tag.to_le_bytes()),
+                Signature::Ed25519(bytes) => fingerprint(0x6564_3235, &bytes[..]),
+            },
+        }
+    }
+}
+
+/// Salted 64-bit fingerprint, mixing 8 bytes per step (a byte-wise FNV
+/// here would serialize one multiply per *byte* on the tracker hot path).
+/// The trailing partial chunk and the length are folded in so neither
+/// truncation nor zero-padding can alias two inputs trivially.
+#[inline]
+fn fingerprint(salt: u64, bytes: &[u8]) -> u64 {
+    let mut hasher = FxHasher::default();
+    hasher.mix(salt);
+    std::hash::Hasher::write(&mut hasher, bytes);
+    hasher.mix(bytes.len() as u64);
+    std::hash::Hasher::finish(&hasher)
+}
+
 /// Tracks which honest signatures the adversary has learned, and when.
 ///
 /// The model states: *"the adversary ... needs to obtain signatures of
@@ -97,11 +163,14 @@ impl std::error::Error for KnowledgeError {}
 ///   message injected by the adversary.
 ///
 /// Claims signed by corrupted nodes are always authorized (the adversary
-/// holds their secrets).
+/// holds their secrets). Internally claims are stored as pre-hashed
+/// compact keys (see `ClaimKey` in this module), so the
+/// learn-on-every-faulty-delivery hot path neither clones claim bytes nor
+/// re-hashes them on each probe.
 #[derive(Clone, Debug, Default)]
 pub struct KnowledgeTracker {
     corrupted: BTreeSet<NodeId>,
-    learned: HashMap<SignedClaim, Time>,
+    learned: HashMap<ClaimKey, Time, FxBuildHasher>,
 }
 
 impl KnowledgeTracker {
@@ -110,14 +179,14 @@ impl KnowledgeTracker {
     pub fn new(corrupted: BTreeSet<NodeId>) -> Self {
         KnowledgeTracker {
             corrupted,
-            learned: HashMap::new(),
+            learned: HashMap::default(),
         }
     }
 
     /// Records that the adversary saw `claim` at time `at` (keeps the
     /// earliest time if seen repeatedly).
     pub fn learn(&mut self, claim: SignedClaim, at: Time) {
-        match self.learned.entry(claim) {
+        match self.learned.entry(ClaimKey::of(&claim)) {
             Entry::Occupied(mut e) => {
                 if at < *e.get() {
                     e.insert(at);
@@ -131,9 +200,7 @@ impl KnowledgeTracker {
 
     /// Records every claim carried by `msg`.
     pub fn learn_all<M: CarriesSignatures>(&mut self, msg: &M, at: Time) {
-        for claim in msg.claims() {
-            self.learn(claim, at);
-        }
+        msg.for_each_claim(&mut |claim| self.learn(claim, at));
     }
 
     /// Returns `true` if the adversary knows `claim` at time `at`.
@@ -142,7 +209,9 @@ impl KnowledgeTracker {
         if self.corrupted.contains(&claim.signer) {
             return true;
         }
-        self.learned.get(claim).is_some_and(|t| *t <= at)
+        self.learned
+            .get(&ClaimKey::of(claim))
+            .is_some_and(|t| *t <= at)
     }
 
     /// Checks that every claim carried by `msg` is known at `at`.
@@ -151,18 +220,22 @@ impl KnowledgeTracker {
     ///
     /// Returns the first unknown claim as a [`KnowledgeError`].
     pub fn authorize<M: CarriesSignatures>(&self, msg: &M, at: Time) -> Result<(), KnowledgeError> {
-        for claim in msg.claims() {
-            if !self.knows(&claim, at) {
-                return Err(KnowledgeError { claim, at });
+        let mut unknown = None;
+        msg.for_each_claim(&mut |claim| {
+            if unknown.is_none() && !self.knows(&claim, at) {
+                unknown = Some(claim);
             }
+        });
+        match unknown {
+            Some(claim) => Err(KnowledgeError { claim, at }),
+            None => Ok(()),
         }
-        Ok(())
     }
 
     /// The earliest time the adversary learned `claim`, if ever.
     #[must_use]
     pub fn learned_at(&self, claim: &SignedClaim) -> Option<Time> {
-        self.learned.get(claim).copied()
+        self.learned.get(&ClaimKey::of(claim)).copied()
     }
 
     /// Number of distinct claims learned.

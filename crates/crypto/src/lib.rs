@@ -33,12 +33,14 @@
 #![warn(missing_docs)]
 
 mod ed25519;
+mod fxhash;
 mod identity;
 mod knowledge;
 mod ring;
 mod symbolic;
 
 pub use ed25519::Ed25519Scheme;
+pub use fxhash::{FxBuildHasher, FxHasher};
 pub use identity::NodeId;
 pub use knowledge::{CarriesSignatures, KnowledgeError, KnowledgeTracker, SignedClaim};
 pub use ring::{KeyRing, RestrictedSigner};

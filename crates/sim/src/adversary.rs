@@ -45,6 +45,27 @@ pub trait Adversary<M>: Send {
         let _ = (from, to, bounds);
         None
     }
+
+    /// Declares that this adversary's event callbacks ([`on_init`],
+    /// [`on_deliver`], [`on_honest_send`], [`on_timer`]) are all no-ops,
+    /// letting the engine skip them entirely — the per-callback cost is
+    /// small but it is paid on *every* message in the system.
+    ///
+    /// The answer must be constant for the lifetime of the adversary (the
+    /// engine samples it once). [`pick_delay`](Self::pick_delay) is *not*
+    /// covered: a passive adversary is still consulted for delays under
+    /// [`AdversaryChoice`](crate::DelayModel::AdversaryChoice). Since a
+    /// passive adversary never receives an [`AdversaryApi`], the
+    /// [`KnowledgeTracker`] is unobservable to it, and the engine skips
+    /// signature-knowledge bookkeeping as well.
+    ///
+    /// [`on_init`]: Self::on_init
+    /// [`on_deliver`]: Self::on_deliver
+    /// [`on_honest_send`]: Self::on_honest_send
+    /// [`on_timer`]: Self::on_timer
+    fn is_passive(&self) -> bool {
+        false
+    }
 }
 
 /// The adversary that does nothing: faulty nodes are silent (crashed from
@@ -52,7 +73,11 @@ pub trait Adversary<M>: Send {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SilentAdversary;
 
-impl<M> Adversary<M> for SilentAdversary {}
+impl<M> Adversary<M> for SilentAdversary {
+    fn is_passive(&self) -> bool {
+        true
+    }
+}
 
 pub(crate) enum AdvEffect<M> {
     SendAs {
@@ -83,7 +108,9 @@ pub struct AdversaryApi<'a, M> {
     pub(crate) verifier: &'a dyn Verifier,
     pub(crate) clocks: &'a [HardwareClock],
     pub(crate) knowledge: &'a KnowledgeTracker,
-    pub(crate) effects: Vec<AdvEffect<M>>,
+    /// Borrowed from the engine's pooled buffer, so constructing an api
+    /// per callback allocates nothing.
+    pub(crate) effects: &'a mut Vec<AdvEffect<M>>,
 }
 
 impl<'a, M> AdversaryApi<'a, M> {

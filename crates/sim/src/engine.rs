@@ -1,4 +1,4 @@
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use crusader_crypto::{KeyRing, KnowledgeTracker, NodeId, RestrictedSigner, Signer, Verifier};
@@ -9,7 +9,7 @@ use rand::SeedableRng;
 
 use crate::adversary::{AdvEffect, Adversary, AdversaryApi};
 use crate::automaton::{Automaton, Context};
-use crate::event::{EventKind, EventQueue, TimerId};
+use crate::event::{EventKind, EventQueue, Payload, TimerId, TimerSlab};
 use crate::network::{DelayModel, LinkConfig};
 use crate::trace::Trace;
 
@@ -200,9 +200,15 @@ impl SimBuilder {
                 }
             })
             .collect();
+        let faulty_mask: Vec<bool> = NodeId::all(self.n)
+            .map(|v| self.faulty.contains(&v))
+            .collect();
+        let adversary_passive = adversary.is_passive();
         Sim {
             n: self.n,
             faulty: self.faulty.clone(),
+            faulty_mask,
+            adversary_passive,
             honest: NodeId::all(self.n)
                 .filter(|v| !self.faulty.contains(v))
                 .collect(),
@@ -217,8 +223,10 @@ impl SimBuilder {
             adversary,
             queue: EventQueue::new(),
             now: Time::ZERO,
-            next_timer: 0,
-            cancelled: HashSet::new(),
+            timers: TimerSlab::new(),
+            node_effects: Vec::new(),
+            adv_effects: Vec::new(),
+            pulse_recorded: false,
             trace: Trace::new(self.n),
             limits: RunLimits {
                 horizon: self.horizon,
@@ -232,6 +240,9 @@ impl SimBuilder {
 
 enum Effect<M> {
     Send { to: NodeId, msg: M },
+    /// One payload for all `n` destinations; the engine wraps it in an
+    /// `Arc` so the fan-out shares it instead of deep-cloning `n` times.
+    Broadcast { msg: M },
     SetTimer { id: TimerId, at: LocalTime },
     CancelTimer { id: TimerId },
     Pulse { index: u64 },
@@ -244,6 +255,12 @@ enum Effect<M> {
 pub struct Sim<A: Automaton> {
     n: usize,
     faulty: BTreeSet<NodeId>,
+    /// `faulty` as a by-index bitmap: the per-message fault checks (link
+    /// bounds, delivery routing) are one load instead of a tree probe.
+    faulty_mask: Vec<bool>,
+    /// Sampled once from [`Adversary::is_passive`]; `true` skips the
+    /// adversary callbacks on every message.
+    adversary_passive: bool,
     honest: Vec<NodeId>,
     link: LinkConfig,
     delay_model: DelayModel,
@@ -256,8 +273,14 @@ pub struct Sim<A: Automaton> {
     adversary: Box<dyn Adversary<A::Msg>>,
     queue: EventQueue<A::Msg>,
     now: Time,
-    next_timer: u64,
-    cancelled: HashSet<TimerId>,
+    timers: TimerSlab,
+    /// Pooled effect buffer, reused across every `with_node` call so the
+    /// per-event `Vec` allocation happens once per run, not once per event.
+    node_effects: Vec<Effect<A::Msg>>,
+    /// Pooled adversary effect buffer (same rationale).
+    adv_effects: Vec<AdvEffect<A::Msg>>,
+    /// Set when an `Effect::Pulse` lands; gates the completion scan.
+    pulse_recorded: bool,
     trace: Trace,
     limits: RunLimits,
     rng: SmallRng,
@@ -299,18 +322,26 @@ impl<A: Automaton> Sim<A> {
             match event.kind {
                 EventKind::Deliver { from, to, msg } => self.deliver(from, to, msg),
                 EventKind::Timer { node, id } => {
-                    if self.cancelled.remove(&id) {
+                    // A stale stamp means the timer was cancelled after
+                    // this event was scheduled; skip it.
+                    if !self.timers.fire(id) {
                         continue;
                     }
                     self.dispatch_timer(node, id);
                 }
                 EventKind::AdvTimer { key } => self.dispatch_adv_timer(key),
             }
-            if self.done_by_pulses() {
-                break;
+            // `done_by_pulses` can only change when a pulse was recorded,
+            // so gate the O(honest) scan on that (it used to run per event).
+            if self.pulse_recorded {
+                self.pulse_recorded = false;
+                if self.done_by_pulses() {
+                    break;
+                }
             }
         }
         self.trace.finished_at = self.now;
+        self.trace.timer_slots_high_water = self.timers.high_water() as u64;
         self.trace
     }
 
@@ -321,18 +352,30 @@ impl<A: Automaton> Sim<A> {
         self.with_adversary(|adv, api| adv.on_init(api));
     }
 
-    fn deliver(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
+    fn deliver(&mut self, from: NodeId, to: NodeId, msg: Payload<A::Msg>) {
         self.trace.messages_delivered += 1;
-        if self.faulty.contains(&to) {
-            self.knowledge.learn_all(&msg, self.now);
-            self.with_adversary(|adv, api| adv.on_deliver(to, from, &msg, api));
+        if self.faulty_mask[to.index()] {
+            // A passive adversary never receives an `AdversaryApi`, so the
+            // knowledge tracker is unobservable and learning is skipped
+            // wholesale. Otherwise the faulty path only ever reads the
+            // message — a shared broadcast payload is delivered without
+            // any clone — and only its first (earliest) faulty delivery
+            // can add knowledge, so later copies skip the claim walk.
+            if !self.adversary_passive {
+                if msg.needs_learning() {
+                    self.knowledge.learn_all(msg.as_ref(), self.now);
+                }
+                let msg = msg.as_ref();
+                self.with_adversary(|adv, api| adv.on_deliver(to, from, msg, api));
+            }
         } else {
+            let msg = msg.into_owned();
             self.with_node(to, |node, ctx| node.on_message(from, msg, ctx));
         }
     }
 
     fn dispatch_timer(&mut self, node: NodeId, id: TimerId) {
-        if self.faulty.contains(&node) {
+        if self.faulty_mask[node.index()] {
             return;
         }
         self.with_node(node, |n, ctx| n.on_timer(id, ctx));
@@ -342,35 +385,49 @@ impl<A: Automaton> Sim<A> {
         self.with_adversary(|adv, api| adv.on_timer(key, api));
     }
 
-    /// Runs `f` against node `v` with a fresh effect buffer, then applies
-    /// the effects.
+    /// Runs `f` against node `v` with the pooled effect buffer, then
+    /// applies the effects.
     fn with_node<F>(&mut self, v: NodeId, f: F)
     where
         F: FnOnce(&mut A, &mut dyn Context<A::Msg>),
     {
-        let mut node = self.nodes[v.index()].take().expect("honest node present");
-        let mut effects: Vec<Effect<A::Msg>> = Vec::new();
+        // Take the pooled buffer; its capacity survives across events.
+        let mut effects = std::mem::take(&mut self.node_effects);
+        debug_assert!(effects.is_empty(), "pooled node buffer not drained");
         let now_local = self.clocks[v.index()].read(self.now);
         {
+            // Disjoint field borrows: the node is mutated in place while
+            // the context borrows the engine's other fields (no
+            // take-and-put-back memcpy of the automaton per event).
+            let node = self.nodes[v.index()].as_mut().expect("honest node present");
             let mut ctx = NodeCtx {
                 me: v,
                 n: self.n,
                 now_local,
                 signer: &*self.signers[v.index()],
                 verifier: &*self.verifier,
-                next_timer: &mut self.next_timer,
+                timers: &mut self.timers,
                 effects: &mut effects,
             };
-            f(&mut node, &mut ctx);
+            f(node, &mut ctx);
         }
-        self.nodes[v.index()] = Some(node);
-        self.apply_node_effects(v, effects);
+        self.apply_node_effects(v, &mut effects);
+        effects.clear();
+        self.node_effects = effects;
     }
 
-    fn apply_node_effects(&mut self, v: NodeId, effects: Vec<Effect<A::Msg>>) {
-        for effect in effects {
+    fn apply_node_effects(&mut self, v: NodeId, effects: &mut Vec<Effect<A::Msg>>) {
+        for effect in effects.drain(..) {
             match effect {
-                Effect::Send { to, msg } => self.schedule_honest_send(v, to, msg),
+                Effect::Send { to, msg } => {
+                    self.schedule_honest_send(v, to, Payload::Owned(msg));
+                }
+                Effect::Broadcast { msg } => {
+                    let shared = Payload::shared(msg);
+                    for to in NodeId::all(self.n) {
+                        self.schedule_honest_send(v, to, shared.clone());
+                    }
+                }
                 Effect::SetTimer { id, at } => {
                     let local_now = self.clocks[v.index()].read(self.now);
                     let fire_at = if at <= local_now {
@@ -382,10 +439,11 @@ impl<A: Automaton> Sim<A> {
                         .push(fire_at, EventKind::Timer { node: v, id });
                 }
                 Effect::CancelTimer { id } => {
-                    self.cancelled.insert(id);
+                    self.timers.cancel(id);
                 }
                 Effect::Pulse { index } => {
                     self.trace.record_pulse(v, index, self.now);
+                    self.pulse_recorded = true;
                 }
                 Effect::Violation(text) => {
                     self.trace.violations.push(format!("{v}: {text}"));
@@ -394,8 +452,16 @@ impl<A: Automaton> Sim<A> {
         }
     }
 
-    fn schedule_honest_send(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
-        let bounds = self.link.bounds(from, to, &self.faulty);
+    /// [`LinkConfig::bounds`] against the bitmap instead of the `BTreeSet`.
+    fn link_bounds(&self, from: NodeId, to: NodeId) -> (Dur, Dur) {
+        self.link.bounds_masked(
+            self.faulty_mask[from.index()],
+            self.faulty_mask[to.index()],
+        )
+    }
+
+    fn schedule_honest_send(&mut self, from: NodeId, to: NodeId, msg: Payload<A::Msg>) {
+        let bounds = self.link_bounds(from, to);
         let delay = if self.delay_model == DelayModel::AdversaryChoice {
             match self.adversary.pick_delay(from, to, bounds) {
                 Some(d) => {
@@ -421,23 +487,38 @@ impl<A: Automaton> Sim<A> {
     where
         F: FnOnce(&mut dyn Adversary<A::Msg>, &mut AdversaryApi<'_, A::Msg>),
     {
-        let mut api = AdversaryApi {
-            now: self.now,
-            n: self.n,
-            corrupted: &self.faulty,
-            signer: &self.adv_signer,
-            verifier: &*self.verifier,
-            clocks: &self.clocks,
-            knowledge: &self.knowledge,
-            effects: Vec::new(),
-        };
-        f(&mut *self.adversary, &mut api);
-        let effects = api.effects;
-        self.apply_adv_effects(effects);
+        // A passive adversary's callbacks are contractually no-ops; skip
+        // the api setup (paid per message otherwise).
+        if self.adversary_passive {
+            return;
+        }
+        // Take the pooled buffer; `with_adversary` never re-enters itself
+        // (applying adversary effects only schedules queue events), so the
+        // take/restore pair always sees its own buffer. If that invariant
+        // ever broke, `mem::take` would merely hand the inner call a fresh
+        // empty `Vec` — slower, never incorrect.
+        let mut effects = std::mem::take(&mut self.adv_effects);
+        debug_assert!(effects.is_empty(), "pooled adversary buffer not drained");
+        {
+            let mut api = AdversaryApi {
+                now: self.now,
+                n: self.n,
+                corrupted: &self.faulty,
+                signer: &self.adv_signer,
+                verifier: &*self.verifier,
+                clocks: &self.clocks,
+                knowledge: &self.knowledge,
+                effects: &mut effects,
+            };
+            f(&mut *self.adversary, &mut api);
+        }
+        self.apply_adv_effects(&mut effects);
+        effects.clear();
+        self.adv_effects = effects;
     }
 
-    fn apply_adv_effects(&mut self, effects: Vec<AdvEffect<A::Msg>>) {
-        for effect in effects {
+    fn apply_adv_effects(&mut self, effects: &mut Vec<AdvEffect<A::Msg>>) {
+        for effect in effects.drain(..) {
             match effect {
                 AdvEffect::SendAs {
                     from,
@@ -456,7 +537,7 @@ impl<A: Automaton> Sim<A> {
                             .push(format!("blocked forgery: {e}"));
                         continue;
                     }
-                    let bounds = self.link.bounds(from, to, &self.faulty);
+                    let bounds = self.link_bounds(from, to);
                     let delay = match delay {
                         Some(d) => {
                             assert!(
@@ -469,8 +550,14 @@ impl<A: Automaton> Sim<A> {
                         }
                         None => self.delay_model.draw(from, to, bounds, &mut self.rng),
                     };
-                    self.queue
-                        .push(self.now + delay, EventKind::Deliver { from, to, msg });
+                    self.queue.push(
+                        self.now + delay,
+                        EventKind::Deliver {
+                            from,
+                            to,
+                            msg: Payload::Owned(msg),
+                        },
+                    );
                 }
                 AdvEffect::SetTimer { at, key } => {
                     let at = at.max(self.now);
@@ -499,7 +586,7 @@ struct NodeCtx<'a, M> {
     now_local: LocalTime,
     signer: &'a dyn Signer,
     verifier: &'a dyn Verifier,
-    next_timer: &'a mut u64,
+    timers: &'a mut TimerSlab,
     effects: &'a mut Vec<Effect<M>>,
 }
 
@@ -521,17 +608,13 @@ impl<'a, M: Clone> Context<M> for NodeCtx<'a, M> {
     }
 
     fn broadcast(&mut self, msg: M) {
-        for to in NodeId::all(self.n) {
-            self.effects.push(Effect::Send {
-                to,
-                msg: msg.clone(),
-            });
-        }
+        // A single effect; the engine fans it out behind one shared `Arc`
+        // instead of `n` deep clones.
+        self.effects.push(Effect::Broadcast { msg });
     }
 
     fn set_timer_at(&mut self, at: LocalTime) -> TimerId {
-        let id = TimerId(*self.next_timer);
-        *self.next_timer += 1;
+        let id = self.timers.arm();
         self.effects.push(Effect::SetTimer { id, at });
         id
     }

@@ -1,5 +1,20 @@
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! The engine's zero-allocation event plumbing: a slab-backed future-event
+//! list and generation-stamped timer slots.
+//!
+//! Two design rules keep the hot path allocation-free and cheap:
+//!
+//! * **Payloads never ride the heap.** The 4-ary min-heap orders small
+//!   `Copy` records `(at, seq, slot)`; the [`EventKind`] payloads live in a
+//!   free-list slab that sift operations never touch. Pushing an event
+//!   after the queue's high-water mark has been reached allocates nothing.
+//! * **Timer state is a generation-stamped slab, not a set.** A
+//!   [`TimerId`] packs `(generation, slot)`; cancelling or firing frees
+//!   the slot and bumps its generation, so stale ids are recognized by a
+//!   mismatched stamp instead of being remembered forever in a `HashSet`
+//!   (which used to leak an entry for every cancel-after-fire).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crusader_crypto::NodeId;
 use crusader_time::Time;
@@ -26,6 +41,87 @@ impl TimerId {
     }
 }
 
+/// One broadcast's payload plus its knowledge-learning state.
+#[derive(Debug)]
+pub(crate) struct SharedPayload<M> {
+    pub msg: M,
+    /// Set once the first faulty delivery has recorded this payload's
+    /// claims. A broadcast reaches every faulty node with the *same*
+    /// claims, and [`KnowledgeTracker::learn`] keeps the earliest time per
+    /// claim — so every delivery after the first (which, in pop order, is
+    /// the earliest) would be a no-op; the flag lets the engine skip the
+    /// claim walk instead of rediscovering that per delivery.
+    ///
+    /// [`KnowledgeTracker::learn`]: crusader_crypto::KnowledgeTracker::learn
+    adversary_learned: AtomicBool,
+}
+
+/// A delivery payload: exclusively owned, or shared across the `n`
+/// deliveries of one broadcast (one `Arc` instead of `n` deep clones).
+#[derive(Clone, Debug)]
+pub(crate) enum Payload<M> {
+    /// A point-to-point message.
+    Owned(M),
+    /// One broadcast's payload, shared by every pending delivery.
+    Shared(Arc<SharedPayload<M>>),
+}
+
+impl<M> Payload<M> {
+    /// Wraps a broadcast payload for sharing.
+    pub fn shared(msg: M) -> Self {
+        Payload::Shared(Arc::new(SharedPayload {
+            msg,
+            adversary_learned: AtomicBool::new(false),
+        }))
+    }
+
+    /// Whether the adversary's knowledge tracker still needs to see this
+    /// payload's claims; flips the first-delivery flag on shared payloads.
+    ///
+    /// (The engine is single-threaded; the atomic exists only to keep the
+    /// shared payload `Sync`. A plain load + store avoids the locked
+    /// read-modify-write a `swap` would emit.)
+    #[inline]
+    pub fn needs_learning(&self) -> bool {
+        match self {
+            Payload::Owned(_) => true,
+            Payload::Shared(shared) => {
+                if shared.adversary_learned.load(Ordering::Relaxed) {
+                    false
+                } else {
+                    shared.adversary_learned.store(true, Ordering::Relaxed);
+                    true
+                }
+            }
+        }
+    }
+}
+
+impl<M: Clone> Payload<M> {
+    /// Extracts the message, cloning only if other deliveries still share
+    /// it (the last delivery of a broadcast unwraps for free).
+    #[inline]
+    pub fn into_owned(self) -> M {
+        match self {
+            Payload::Owned(msg) => msg,
+            Payload::Shared(shared) => match Arc::try_unwrap(shared) {
+                Ok(inner) => inner.msg,
+                Err(arc) => arc.msg.clone(),
+            },
+        }
+    }
+}
+
+impl<M> AsRef<M> for Payload<M> {
+    #[inline]
+    fn as_ref(&self) -> &M {
+        match self {
+            Payload::Owned(msg) => msg,
+            Payload::Shared(shared) => &shared.msg,
+        }
+    }
+}
+
 /// What happens when an event fires.
 #[derive(Clone, Debug)]
 pub(crate) enum EventKind<M> {
@@ -36,7 +132,7 @@ pub(crate) enum EventKind<M> {
         /// Recipient.
         to: NodeId,
         /// Payload.
-        msg: M,
+        msg: Payload<M>,
     },
     /// An honest node's local-time timer fires.
     Timer { node: NodeId, id: TimerId },
@@ -44,62 +140,179 @@ pub(crate) enum EventKind<M> {
     AdvTimer { key: u64 },
 }
 
-/// A scheduled event. Ordering is by `(at, seq)` — ties broken by insertion
-/// order, making the whole simulation deterministic.
-#[derive(Clone, Debug)]
+/// A popped event: the payload rejoined with its firing time.
+#[derive(Debug)]
 pub(crate) struct Event<M> {
     pub at: Time,
-    pub seq: u64,
     pub kind: EventKind<M>,
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+/// The 16-byte `Copy` record the heap actually orders: one `u128` packing
+/// `(at, seq, slot)` so the entire `(at, seq)` comparison — ties broken by
+/// insertion order, making the whole simulation deterministic — is a
+/// single integer compare.
+///
+/// Layout, most significant first: 64 bits of `at` as IEEE-754 bits
+/// (simulation times are finite and non-negative, and non-negative doubles
+/// order identically to their bit patterns), 36 bits of `seq`, 28 bits of
+/// slab slot. The slot takes no part in ordering (`seq` is already
+/// unique); it just rides along. The packing caps a run at 2³⁶ ≈ 68 G
+/// total events (the default `max_events` cap is 50 M, three orders of
+/// magnitude below, and a 68 G-event run would take hours of wall clock)
+/// and 2²⁸ ≈ 268 M *simultaneously scheduled* events (roughly 15 GiB of
+/// payload slab at CPS message sizes, so memory gives out around the same
+/// scale); `push` asserts both rather than silently corrupting order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct HeapEntry(u128);
+
+const SLOT_BITS: u32 = 28;
+const SEQ_LIMIT: u64 = 1 << (64 - SLOT_BITS);
+const SLOT_LIMIT: u32 = 1 << SLOT_BITS;
+
+impl HeapEntry {
+    #[inline]
+    fn new(at: Time, seq: u64, slot: u32) -> Self {
+        let secs = at.as_secs();
+        debug_assert!(secs >= 0.0, "events cannot be scheduled before t=0");
+        HeapEntry(
+            (u128::from(secs.to_bits()) << 64)
+                | (u128::from(seq) << SLOT_BITS)
+                | u128::from(slot),
+        )
+    }
+
+    #[inline]
+    fn at(self) -> Time {
+        #[allow(clippy::cast_possible_truncation)]
+        Time::from_secs(f64::from_bits((self.0 >> 64) as u64))
+    }
+
+    #[inline]
+    fn slot(self) -> u32 {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            (self.0 as u32) & (SLOT_LIMIT - 1)
+        }
+    }
+
+    /// Strict `(at, seq)` order; `seq` is unique, so this is total.
+    #[inline]
+    fn before(&self, other: &HeapEntry) -> bool {
+        self.0 < other.0
     }
 }
 
-impl<M> Eq for Event<M> {}
-
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+/// Children per heap node. A 4-ary min-heap halves the tree depth of a
+/// binary one; sift-down compares more children per level but touches
+/// adjacent memory, which is a reliable win for event queues this size
+/// (the pop path dominates: every event is pushed once and popped once).
+const HEAP_ARITY: usize = 4;
 
 /// A deterministic future-event list.
+///
+/// Payloads are parked in `slots` (recycled through `free`) while the
+/// 4-ary min-heap sifts only [`HeapEntry`] records; see the module docs.
 #[derive(Debug)]
 pub(crate) struct EventQueue<M> {
-    heap: BinaryHeap<Event<M>>,
+    heap: Vec<HeapEntry>,
+    slots: Vec<Option<EventKind<M>>>,
+    free: Vec<u32>,
     next_seq: u64,
 }
 
 impl<M> EventQueue<M> {
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
         }
     }
 
     pub fn push(&mut self, at: Time, kind: EventKind<M>) {
         let seq = self.next_seq;
+        assert!(seq < SEQ_LIMIT, "more than 2^36 events scheduled");
         self.next_seq += 1;
-        self.heap.push(Event { at, seq, kind });
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none(), "free slot occupied");
+                self.slots[slot as usize] = Some(kind);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len())
+                    .ok()
+                    .filter(|&s| s < SLOT_LIMIT)
+                    .expect("more than 2^28 simultaneous events");
+                self.slots.push(Some(kind));
+                slot
+            }
+        };
+        self.heap.push(HeapEntry::new(at, seq, slot));
+        self.sift_up(self.heap.len() - 1);
     }
 
     pub fn pop(&mut self) -> Option<Event<M>> {
-        self.heap.pop()
+        let entry = *self.heap.first()?;
+        let last = self.heap.pop().expect("heap is non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        let slot = entry.slot();
+        let kind = self.slots[slot as usize]
+            .take()
+            .expect("heap entry pointing at empty slot");
+        self.free.push(slot);
+        Some(Event {
+            at: entry.at(),
+            kind,
+        })
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / HEAP_ARITY;
+            if !entry.before(&self.heap[parent]) {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = entry;
+    }
+
+    /// Bottom-up sift-down: walk the hole to a leaf choosing the minimum
+    /// child at each level (no pivot comparison), then bubble the displaced
+    /// entry back up. The displaced entry is a leaf from the bottom of the
+    /// heap, so the bubble-up almost always stops immediately — this saves
+    /// one comparison per level over the textbook sift-down.
+    fn sift_down(&mut self, i: usize) {
+        let entry = self.heap[i];
+        let len = self.heap.len();
+        let mut hole = i;
+        loop {
+            let first_child = hole * HEAP_ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            let last_child = (first_child + HEAP_ARITY).min(len);
+            let mut min = first_child;
+            let mut min_val = self.heap[first_child];
+            for child in first_child + 1..last_child {
+                let val = self.heap[child];
+                if val.before(&min_val) {
+                    min = child;
+                    min_val = val;
+                }
+            }
+            self.heap[hole] = min_val;
+            hole = min;
+        }
+        self.heap[hole] = entry;
+        self.sift_up(hole);
     }
 
     #[cfg_attr(not(test), allow(dead_code))]
@@ -111,10 +324,120 @@ impl<M> EventQueue<M> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Slab slots currently sitting on the free list (leak diagnostics).
+    #[cfg(test)]
+    fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total slab capacity ever allocated (the queue's high-water mark).
+    #[cfg(test)]
+    fn slab_slots(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Generation-stamped timer slots.
+///
+/// [`TimerId`] packs `generation << 32 | slot`. Arming allocates a slot
+/// (recycling freed ones), and both firing and cancelling free it again,
+/// bumping the generation so any id still referring to the old tenancy is
+/// recognized as stale. Memory is therefore bounded by the maximum number
+/// of *simultaneously pending* timers, independent of run length — unlike
+/// the previous `HashSet<TimerId>` of cancellations, which kept one entry
+/// forever for every timer cancelled after it had already fired.
+///
+/// A single slot would need 2³² arm/free cycles to wrap its stamp; runs
+/// are capped at 50 M events by default, far below that.
+#[derive(Debug, Default)]
+pub(crate) struct TimerSlab {
+    slots: Vec<TimerSlot>,
+    free: Vec<u32>,
+    live: usize,
+    high_water: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TimerSlot {
+    generation: u32,
+    armed: bool,
+}
+
+impl TimerSlab {
+    pub fn new() -> Self {
+        TimerSlab::default()
+    }
+
+    /// Allocates a slot and returns its stamped id.
+    pub fn arm(&mut self) -> TimerId {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(!self.slots[slot as usize].armed, "free slot armed");
+                self.slots[slot as usize].armed = true;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len())
+                    .expect("more than u32::MAX simultaneous timers");
+                self.slots.push(TimerSlot {
+                    generation: 0,
+                    armed: true,
+                });
+                slot
+            }
+        };
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        TimerId(u64::from(self.slots[slot as usize].generation) << 32 | u64::from(slot))
+    }
+
+    /// Cancels a pending timer; returns whether it was actually pending
+    /// (stale ids — already fired or already cancelled — are no-ops).
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        self.release(id)
+    }
+
+    /// Resolves a firing: `true` means the timer is live and now consumed;
+    /// `false` means it was cancelled in the meantime and must be skipped.
+    pub fn fire(&mut self, id: TimerId) -> bool {
+        self.release(id)
+    }
+
+    #[inline]
+    fn release(&mut self, id: TimerId) -> bool {
+        let slot = (id.0 & u64::from(u32::MAX)) as usize;
+        #[allow(clippy::cast_possible_truncation)]
+        let generation = (id.0 >> 32) as u32;
+        let Some(entry) = self.slots.get_mut(slot) else {
+            return false; // id from a different context (never issued here)
+        };
+        if !entry.armed || entry.generation != generation {
+            return false;
+        }
+        entry.armed = false;
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free.push(slot as u32);
+        self.live -= 1;
+        true
+    }
+
+    /// Most timers ever pending at once (bounds the slab's memory).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Timers pending right now.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn live(&self) -> usize {
+        self.live
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+
     use super::*;
 
     #[test]
@@ -153,5 +476,147 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slab_slots_are_recycled_not_leaked() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        for round in 0..100u64 {
+            for key in 0..4 {
+                q.push(Time::from_secs(round as f64), EventKind::AdvTimer { key });
+            }
+            for _ in 0..4 {
+                q.pop().unwrap();
+            }
+        }
+        // 400 events flowed through, but at most 4 were ever outstanding.
+        assert!(q.slab_slots() <= 4, "slab grew to {}", q.slab_slots());
+        assert_eq!(q.free_slots(), q.slab_slots());
+    }
+
+    #[test]
+    fn shared_payload_unwraps_or_clones() {
+        let a = Payload::shared(vec![1u8, 2]);
+        let b = a.clone();
+        assert_eq!(a.as_ref(), &vec![1, 2]);
+        assert_eq!(a.into_owned(), vec![1, 2]); // clones (b still shares)
+        assert_eq!(b.into_owned(), vec![1, 2]); // last ref: unwraps
+        assert_eq!(Payload::Owned(7u64).into_owned(), 7);
+    }
+
+    #[test]
+    fn shared_payload_learns_exactly_once() {
+        let a = Payload::shared(());
+        let b = a.clone();
+        assert!(a.needs_learning(), "first faulty delivery learns");
+        assert!(!b.needs_learning(), "second delivery of the same payload skips");
+        assert!(!a.needs_learning());
+        // Owned payloads always learn (no sharing to dedupe against).
+        let o = Payload::Owned(());
+        assert!(o.needs_learning());
+        assert!(o.needs_learning());
+    }
+
+    #[test]
+    fn timer_slab_stale_ids_are_noops() {
+        let mut slab = TimerSlab::new();
+        let a = slab.arm();
+        assert!(slab.fire(a), "live timer fires");
+        assert!(!slab.fire(a), "second fire is stale");
+        assert!(!slab.cancel(a), "cancel after fire is a no-op");
+        let b = slab.arm(); // recycles the slot under a new generation
+        assert_ne!(a, b);
+        assert!(!slab.cancel(a), "old stamp cannot cancel the new tenant");
+        assert!(slab.cancel(b));
+        assert_eq!(slab.live(), 0);
+        assert_eq!(slab.high_water(), 1);
+    }
+
+    #[test]
+    fn timer_slab_never_issued_id_is_stale() {
+        let mut slab = TimerSlab::new();
+        assert!(!slab.fire(TimerId::new(123)));
+    }
+
+    proptest! {
+        /// Random interleavings of pushes and pops: pops always come out
+        /// in (at, seq) order, and the slab never leaks a slot.
+        #[test]
+        fn prop_slab_queue_orders_and_recycles(
+            // Encodes (at, push/pop) in one value: the vendored proptest
+            // stand-in has no tuple strategies. Low bit: push; rest: time.
+            ops in proptest::collection::vec(0u16..100, 1..200)
+        ) {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut next_key = 0u64;
+            // Model: keys in `(at, insertion)` order, as a sorted list.
+            let mut model: Vec<(u16, u64)> = Vec::new();
+            let mut outstanding_high_water = 0usize;
+            for op in ops {
+                let (at, is_push) = (op >> 1, op & 1 == 1);
+                if is_push {
+                    q.push(
+                        Time::from_secs(f64::from(at)),
+                        EventKind::AdvTimer { key: next_key },
+                    );
+                    model.push((at, next_key));
+                    model.sort(); // key is insertion-ordered, so stable
+                    next_key += 1;
+                    outstanding_high_water = outstanding_high_water.max(q.len());
+                } else if let Some(event) = q.pop() {
+                    let (at_expect, key_expect) = model.remove(0);
+                    prop_assert_eq!(event.at, Time::from_secs(f64::from(at_expect)));
+                    match event.kind {
+                        EventKind::AdvTimer { key } => prop_assert_eq!(key, key_expect),
+                        _ => prop_assert!(false, "unexpected kind"),
+                    }
+                } else {
+                    prop_assert!(model.is_empty());
+                }
+            }
+            // Drain; the queue must agree with the model to the end.
+            while let Some(event) = q.pop() {
+                let (at_expect, _) = model.remove(0);
+                prop_assert_eq!(event.at, Time::from_secs(f64::from(at_expect)));
+            }
+            prop_assert!(model.is_empty());
+            // No slot leaked: everything allocated is back on the free
+            // list, and the slab never outgrew the deepest outstanding set.
+            prop_assert_eq!(q.free_slots(), q.slab_slots());
+            prop_assert!(q.slab_slots() <= outstanding_high_water.max(1));
+        }
+
+        /// Arbitrary arm/cancel/fire interleavings never leak timer slots.
+        #[test]
+        fn prop_timer_slab_conserves_slots(
+            ops in proptest::collection::vec(0u8..3, 1..300)
+        ) {
+            let mut slab = TimerSlab::new();
+            let mut pending: Vec<TimerId> = Vec::new();
+            let mut retired: Vec<TimerId> = Vec::new();
+            for op in ops {
+                match op {
+                    0 => pending.push(slab.arm()),
+                    1 => {
+                        if let Some(id) = pending.pop() {
+                            prop_assert!(slab.cancel(id));
+                            retired.push(id);
+                        }
+                    }
+                    _ => {
+                        if let Some(id) = retired.last() {
+                            // Stale ids stay stale forever.
+                            prop_assert!(!slab.fire(*id));
+                            prop_assert!(!slab.cancel(*id));
+                        } else if let Some(id) = pending.pop() {
+                            prop_assert!(slab.fire(id));
+                            retired.push(id);
+                        }
+                    }
+                }
+                prop_assert_eq!(slab.live(), pending.len());
+            }
+            prop_assert!(slab.high_water() <= 300);
+        }
     }
 }

@@ -22,6 +22,35 @@
 //! compute–send–receive round executor with a rushing adversary, used by
 //! the paper's synchronous building blocks.
 //!
+//! # Engine internals & performance
+//!
+//! Every experiment and test funnels through this engine, so the hot path
+//! is engineered to process an event without touching the allocator:
+//!
+//! * the future-event list is a 4-ary min-heap of 16-byte `Copy` records
+//!   (`u128`-packed `(time, seq, slot)`) pointing into a free-list slab
+//!   that owns the payloads — heap sifts never move or clone a message,
+//!   and pushes past the high-water mark allocate nothing;
+//! * node and adversary effect buffers are pooled in the [`Sim`] and
+//!   drained in place (one allocation per run, not per event);
+//! * [`Context::broadcast`] fans out behind one shared `Arc` instead of
+//!   `n` deep clones, and a broadcast's signature claims are learned by
+//!   the knowledge tracker only on its first faulty delivery (later
+//!   copies cannot add knowledge);
+//! * timers are generation-stamped slab slots — cancelling an
+//!   already-fired timer is recognized by a stale stamp instead of being
+//!   remembered forever, and [`Trace::timer_slots_high_water`] exposes
+//!   the bounded slab footprint;
+//! * adversaries whose callbacks are no-ops declare it via
+//!   [`Adversary::is_passive`], letting the engine skip per-message
+//!   callback plumbing and knowledge bookkeeping they can never observe.
+//!
+//! Committed before/after numbers live in `BENCH_cps.json` at the repo
+//! root (see the README's *Engine internals & performance* section for
+//! the `perf_snapshot` record/check workflow); a pinned trace-hash test
+//! in `crusader_bench` guarantees these optimizations are seed-for-seed
+//! trace-identical to the original engine.
+//!
 //! # Example
 //!
 //! A trivial protocol that pulses once at local time 1 ms:
@@ -200,6 +229,67 @@ mod tests {
             .run();
         assert_eq!(trace.pulses[0].len(), 1);
         assert!((trace.pulses[0][0] - Time::from_millis(2.0)).abs() < Dur::from_nanos(1.0));
+    }
+
+    /// Sets a fresh timer every millisecond and — the regression under
+    /// test — cancels each timer *after* it has already fired. The old
+    /// engine remembered every such cancellation in a `HashSet` for the
+    /// rest of the run (one leaked entry per pulse); the generation-stamped
+    /// slab must instead recycle a bounded number of slots.
+    struct CancelAfterFire {
+        fired: u64,
+        limit: u64,
+    }
+
+    impl Automaton for CancelAfterFire {
+        type Msg = ();
+
+        fn on_init(&mut self, ctx: &mut dyn Context<()>) {
+            ctx.set_timer_at(LocalTime::from_millis(1.0));
+        }
+
+        fn on_message(&mut self, _: NodeId, _: (), _: &mut dyn Context<()>) {}
+
+        fn on_timer(&mut self, t: TimerId, ctx: &mut dyn Context<()>) {
+            // Stale cancel: `t` has just fired. Must be a no-op, and must
+            // not grow any engine-side bookkeeping.
+            ctx.cancel_timer(t);
+            self.fired += 1;
+            if self.fired < self.limit {
+                let next = LocalTime::from_millis(1.0 + self.fired as f64);
+                ctx.set_timer_at(next);
+                // One extra timer per round, cancelled before it fires, so
+                // slot recycling (not just sequential growth) is exercised.
+                let decoy = ctx.set_timer_at(next + Dur::from_micros(100.0));
+                ctx.cancel_timer(decoy);
+            } else {
+                ctx.pulse(1);
+            }
+        }
+    }
+
+    #[test]
+    fn timer_bookkeeping_stays_bounded_across_pulses() {
+        let rounds = 1000;
+        let trace = SimBuilder::new(1)
+            .horizon(Time::from_secs(10.0))
+            .build(
+                |_| CancelAfterFire {
+                    fired: 0,
+                    limit: rounds,
+                },
+                Box::new(SilentAdversary),
+            )
+            .run();
+        assert_eq!(trace.pulses[0].len(), 1, "automaton ran to completion");
+        // 1000 fired-then-cancelled timers and 999 cancelled decoys flowed
+        // through; at no point were more than 2 pending, and the slab must
+        // reflect that instead of growing with the round count.
+        assert!(
+            trace.timer_slots_high_water <= 2,
+            "timer slab high-water {} grew with run length",
+            trace.timer_slots_high_water
+        );
     }
 
     #[test]

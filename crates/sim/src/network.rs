@@ -57,7 +57,15 @@ impl LinkConfig {
     /// Delay bounds `(min, max)` for a message from `from` to `to`.
     #[must_use]
     pub fn bounds(&self, from: NodeId, to: NodeId, faulty: &BTreeSet<NodeId>) -> (Dur, Dur) {
-        let unc = if faulty.contains(&from) || faulty.contains(&to) {
+        self.bounds_masked(faulty.contains(&from), faulty.contains(&to))
+    }
+
+    /// [`bounds`](Self::bounds) with the fault lookups already done — the
+    /// single home of the `u` vs `ũ` rule, shared with the engine's
+    /// bitmap-indexed hot path.
+    #[must_use]
+    pub fn bounds_masked(&self, from_faulty: bool, to_faulty: bool) -> (Dur, Dur) {
+        let unc = if from_faulty || to_faulty {
             self.u_tilde
         } else {
             self.u

@@ -23,6 +23,11 @@ pub struct Trace {
     pub events_processed: u64,
     /// Real time at which the simulation stopped.
     pub finished_at: Time,
+    /// Most timers simultaneously pending at any point in the run — the
+    /// memory bound of the engine's generation-stamped timer slab. Scales
+    /// with protocol fan-out (timers outstanding per node), *not* with run
+    /// length; the regression test in `engine.rs` pins that property.
+    pub timer_slots_high_water: u64,
 }
 
 impl Trace {
