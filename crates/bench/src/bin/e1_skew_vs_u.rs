@@ -5,15 +5,20 @@
 //! derived bound `S`. Expected shape: both the bound and the measurement
 //! grow linearly in `u`, and the measured skew never exceeds `S`.
 
+use crusader_bench::cli::SimArgs;
 use crusader_bench::{header, us, Scenario};
 use crusader_sim::{DelayModel, SilentAdversary};
 use crusader_time::drift::DriftModel;
 use crusader_time::Dur;
 
 fn main() {
+    let args = SimArgs::parse_or_exit();
     let d = Dur::from_millis(1.0);
     let theta = 1.0001;
-    println!("# E1: skew vs u   (n = 8, f = 3, d = {d}, θ = {theta})\n");
+    // The sweep's largest u decides feasibility; validate against it.
+    let n = args.resolve_n(8, d, Dur::from_micros(300.0), theta);
+    let f = crusader_core::max_faults_with_signatures(n);
+    println!("# E1: skew vs u   (n = {n}, f = {f}, d = {d}, θ = {theta})\n");
     header(&[
         "u (µs)",
         "S bound (µs)",
@@ -23,7 +28,8 @@ fn main() {
         "S/u ratio",
     ]);
     for u_us in [1.0, 3.0, 10.0, 30.0, 100.0, 300.0] {
-        let mut s = Scenario::new(8, d, Dur::from_micros(u_us), theta);
+        let mut s = Scenario::new(n, d, Dur::from_micros(u_us), theta);
+        s.lanes = args.lanes();
         s.delays = DelayModel::Extremal;
         s.drift = DriftModel::ExtremalSplit;
         s.pulses = 15;

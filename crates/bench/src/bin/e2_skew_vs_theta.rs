@@ -4,6 +4,7 @@
 //! shape: the bound and the measured skew scale linearly in θ−1 (until
 //! the feasibility region of Corollary 4 runs out near θ ≈ 1.078).
 
+use crusader_bench::cli::SimArgs;
 use crusader_bench::{header, us, Scenario};
 use crusader_core::Params;
 use crusader_sim::{DelayModel, SilentAdversary};
@@ -11,10 +12,14 @@ use crusader_time::drift::DriftModel;
 use crusader_time::Dur;
 
 fn main() {
+    let args = SimArgs::parse_or_exit();
     let d = Dur::from_millis(1.0);
     let u = Dur::from_micros(1.0);
+    // The sweep's largest θ decides feasibility; validate against it.
+    let n = args.resolve_n(8, d, u, 1.07);
+    let f = crusader_core::max_faults_with_signatures(n);
     println!(
-        "# E2: skew vs θ−1   (n = 8, f = 3, d = {d}, u = {u}; max feasible θ = {:.4})\n",
+        "# E2: skew vs θ−1   (n = {n}, f = {f}, d = {d}, u = {u}; max feasible θ = {:.4})\n",
         Params::max_feasible_theta()
     );
     header(&[
@@ -26,7 +31,8 @@ fn main() {
     ]);
     for theta_minus_1 in [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 5e-2, 7e-2] {
         let theta = 1.0 + theta_minus_1;
-        let mut s = Scenario::new(8, d, u, theta);
+        let mut s = Scenario::new(n, d, u, theta);
+        s.lanes = args.lanes();
         s.delays = DelayModel::Extremal;
         s.drift = DriftModel::ExtremalSplit;
         s.pulses = 15;

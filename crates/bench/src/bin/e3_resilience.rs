@@ -6,6 +6,7 @@
 //! (≤ S) and no violations over 40 pulses; "DIVERGES" = skew grew past S.
 
 use crusader_baselines::{LwNode, TickStagger};
+use crusader_bench::cli::SimArgs;
 use crusader_bench::Scenario;
 use crusader_core::adversary::StaggeredDealer;
 use crusader_core::{max_faults_with_signatures, max_faults_without_signatures, Params};
@@ -13,8 +14,9 @@ use crusader_sim::DelayModel;
 use crusader_time::drift::DriftModel;
 use crusader_time::Dur;
 
-fn scenario(n: usize, f: usize) -> (Scenario, Params) {
+fn scenario(n: usize, f: usize, lanes: usize) -> (Scenario, Params) {
     let mut s = Scenario::new(n, Dur::from_millis(1.0), Dur::from_micros(10.0), 1.003);
+    s.lanes = lanes;
     s.faulty = (n - f..n).collect();
     s.delays = DelayModel::Random;
     s.drift = DriftModel::ExtremalSplit;
@@ -26,11 +28,11 @@ fn scenario(n: usize, f: usize) -> (Scenario, Params) {
     (s, params)
 }
 
-fn verdict_cps(n: usize, f: usize) -> &'static str {
+fn verdict_cps(n: usize, f: usize, lanes: usize) -> &'static str {
     if f > max_faults_with_signatures(n) {
         return "n/a";
     }
-    let (s, params) = scenario(n, f);
+    let (s, params) = scenario(n, f, lanes);
     let derived = params.derive().unwrap();
     let m = s.run_protocol(
         derived.s,
@@ -44,11 +46,11 @@ fn verdict_cps(n: usize, f: usize) -> &'static str {
     }
 }
 
-fn verdict_lw(n: usize, f: usize) -> &'static str {
+fn verdict_lw(n: usize, f: usize, lanes: usize) -> &'static str {
     if f > max_faults_with_signatures(n) {
         return "n/a";
     }
-    let (s, params) = scenario(n, f);
+    let (s, params) = scenario(n, f, lanes);
     let derived = params.derive().unwrap();
     let m = s.run_protocol(
         derived.s,
@@ -63,17 +65,27 @@ fn verdict_lw(n: usize, f: usize) -> &'static str {
 }
 
 fn main() {
+    let args = SimArgs::parse_or_exit();
+    // --n replaces the default size sweep with a single column (validated
+    // for f = ceil(n/2)-1 feasibility); --lanes picks the executor.
+    let ns: Vec<usize> = match args.n {
+        Some(_) => {
+            vec![args.resolve_n(12, Dur::from_millis(1.0), Dur::from_micros(10.0), 1.003)]
+        }
+        None => vec![4, 6, 7, 9, 12],
+    };
+    let lanes = args.lanes();
     println!("# E3: resilience under the stagger attack (40 pulses)\n");
     println!("| n | f | ⌈n/3⌉−1 | ⌈n/2⌉−1 | Lynch–Welch | CPS |");
     println!("|---|---|---------|---------|-------------|-----|");
-    for n in [4usize, 6, 7, 9, 12] {
+    for n in ns {
         for f in 1..=max_faults_with_signatures(n) {
             println!(
                 "| {n} | {f} | {} | {} | {} | {} |",
                 max_faults_without_signatures(n),
                 max_faults_with_signatures(n),
-                verdict_lw(n, f),
-                verdict_cps(n, f),
+                verdict_lw(n, f, lanes),
+                verdict_cps(n, f, lanes),
             );
         }
     }

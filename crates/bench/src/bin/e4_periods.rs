@@ -1,13 +1,18 @@
 //! E4 — Theorem 17's period bounds: every observed period lies within
 //! [(T − (θ+1)S)/θ, T + 3S].
 
+use crusader_bench::cli::SimArgs;
 use crusader_bench::{header, Scenario};
 use crusader_sim::{DelayModel, SilentAdversary};
 use crusader_time::drift::DriftModel;
 use crusader_time::Dur;
 
 fn main() {
-    println!("# E4: period bounds (n = 8, f = 3, worst-case drift/delays)\n");
+    let args = SimArgs::parse_or_exit();
+    // The sweep's harshest (u, θ) pair decides feasibility.
+    let n = args.resolve_n(8, Dur::from_millis(1.0), Dur::from_micros(200.0), 1.02);
+    let f = crusader_core::max_faults_with_signatures(n);
+    println!("# E4: period bounds (n = {n}, f = {f}, worst-case drift/delays)\n");
     header(&[
         "u (µs)",
         "θ",
@@ -24,7 +29,8 @@ fn main() {
         (10.0, 1.01),
         (200.0, 1.02),
     ] {
-        let mut s = Scenario::new(8, Dur::from_millis(1.0), Dur::from_micros(u_us), theta);
+        let mut s = Scenario::new(n, Dur::from_millis(1.0), Dur::from_micros(u_us), theta);
+        s.lanes = args.lanes();
         s.delays = DelayModel::Extremal;
         s.drift = DriftModel::ExtremalSplit;
         s.pulses = 12;

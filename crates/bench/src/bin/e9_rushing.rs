@@ -3,6 +3,7 @@
 //! attack turns honest dealers' broadcasts into ⊥ evidence and the
 //! effective error budget degrades toward Θ(ũ).
 
+use crusader_bench::cli::SimArgs;
 use crusader_bench::Scenario;
 use crusader_core::adversary::RushingForwarder;
 use crusader_sim::DelayModel;
@@ -10,15 +11,18 @@ use crusader_time::drift::DriftModel;
 use crusader_time::Dur;
 
 fn main() {
+    let args = SimArgs::parse_or_exit();
     let d = Dur::from_millis(1.0);
     let u = Dur::from_micros(20.0);
-    println!("# E9: faulty links undercutting the minimum delay (n = 5, f = 1)\n");
+    let n = args.resolve_n(5, d, u, 1.0002);
+    println!("# E9: faulty links undercutting the minimum delay (n = {n}, f = 1)\n");
     println!("| ũ (µs) | ũ/u | pulses | max skew (µs) | ⊥-budget violations |");
     println!("|--------|-----|--------|---------------|---------------------|");
     for mult in [1.0, 2.0, 5.0, 10.0, 20.0] {
         let u_tilde = Dur::from_micros(20.0 * mult);
-        let mut s = Scenario::new(5, d, u, 1.0002);
-        s.faulty = vec![4];
+        let mut s = Scenario::new(n, d, u, 1.0002);
+        s.lanes = args.lanes();
+        s.faulty = vec![n - 1];
         s.u_tilde = Some(u_tilde);
         s.delays = DelayModel::Random;
         s.drift = DriftModel::RandomStable;

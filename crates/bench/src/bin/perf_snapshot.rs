@@ -4,21 +4,37 @@
 //! perf_snapshot                                  # print a table, touch nothing
 //! perf_snapshot --json BENCH_cps.json --section baseline [--label TEXT]
 //! perf_snapshot --json BENCH_cps.json            # refresh the "current" section
+//! perf_snapshot --json BENCH_cps.json --section sharded   # large-n, both executors
 //! perf_snapshot --check BENCH_cps.json           # CI: fail on count drift
+//! perf_snapshot --check BENCH_cps.json --max-n 64  # CI: skip larger rows
 //! ```
 //!
-//! Writing merges with an existing file: recording `current` preserves the
-//! committed `baseline`, and vice versa. The check mode replays the same
-//! scenarios and fails if `events_processed` or `messages_delivered` differ
-//! from *any* committed section — those counts are seed-deterministic, so
-//! drift means the engine changed behaviour, not just speed. Wall-clock is
-//! reported (speedup vs. baseline) but never gated.
+//! Flags:
+//!
+//! * `--json PATH` — measure and write a section into `PATH`, merging
+//!   with the existing file (recording `current` preserves the committed
+//!   `baseline` and `sharded` sections, and so on).
+//! * `--section baseline|current|sharded` — which section `--json`
+//!   writes. `baseline`/`current` measure the single-lane engine on the
+//!   small grid (n ∈ {4, 8, 16}); `sharded` measures *both* executors on
+//!   the large grid (n ∈ {64, 128, 256}, lanes = 8), asserting their
+//!   seed-deterministic counts are identical.
+//! * `--check PATH` — CI mode: replay every committed section's scenarios
+//!   and fail if `events_processed` or `messages_delivered` differ. Those
+//!   counts are seed-deterministic, so drift means the engine changed
+//!   behaviour, not just speed. Wall-clock is reported (speedup vs.
+//!   baseline, sharded vs. single-lane) but never gated.
+//! * `--max-n N` — bound the sizes measured or checked (rows above `N`
+//!   are skipped with a note); keeps the CI bench-smoke job fast by
+//!   checking the sharded section at n = 64 only.
+//! * `--label TEXT` — provenance string stored in the written section.
+//! * `--reps K` — timed repetitions per measurement (best-of, default 7).
 
 use std::process::ExitCode;
 
 use crusader_bench::snapshot::{
-    from_json, measure_cps, to_json, CpsSnapshot, SnapshotRow, SnapshotSection,
-    CPS_SNAPSHOT_PULSES,
+    from_json, measure_cps, measure_cps_sharded, to_json, CpsSnapshot, ShardedRow,
+    ShardedSection, SnapshotRow, SnapshotSection, CPS_SNAPSHOT_PULSES,
 };
 
 const DEFAULT_REPS: usize = 7;
@@ -29,6 +45,7 @@ struct Args {
     section: String,
     label: Option<String>,
     reps: usize,
+    max_n: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         section: "current".to_owned(),
         label: None,
         reps: DEFAULT_REPS,
+        max_n: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -52,12 +70,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--reps: {e}"))?;
             }
+            "--max-n" => {
+                args.max_n = Some(
+                    value("--max-n")?
+                        .parse()
+                        .map_err(|e| format!("--max-n: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    if !matches!(args.section.as_str(), "baseline" | "current") {
+    if !matches!(args.section.as_str(), "baseline" | "current" | "sharded") {
         return Err(format!(
-            "--section must be 'baseline' or 'current', got {:?}",
+            "--section must be 'baseline', 'current' or 'sharded', got {:?}",
             args.section
         ));
     }
@@ -77,58 +102,117 @@ fn print_rows(rows: &[SnapshotRow]) {
     }
 }
 
-fn record(path: &str, section_name: &str, label: Option<String>, reps: usize) -> ExitCode {
-    let rows = measure_cps(reps);
-    print_rows(&rows);
-    let mut snap = match std::fs::read_to_string(path) {
-        Ok(text) => match from_json(&text) {
-            Ok(snap) => snap,
-            Err(e) => {
-                eprintln!("error: {path} exists but does not parse: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => CpsSnapshot::default(),
+fn print_sharded_rows(rows: &[ShardedRow]) {
+    crusader_bench::header(&[
+        "n",
+        "lanes",
+        "single_us",
+        "sharded_us",
+        "speedup",
+        "events",
+        "messages",
+    ]);
+    for r in rows {
+        println!(
+            "| {} | {} | {:.3} | {:.3} | {:.2}x | {} | {} |",
+            r.n,
+            r.lanes,
+            r.wall_clock_single_us,
+            r.wall_clock_sharded_us,
+            r.wall_clock_single_us / r.wall_clock_sharded_us,
+            r.events_processed,
+            r.messages_delivered
+        );
+    }
+}
+
+fn load(path: &str) -> Result<CpsSnapshot, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => from_json(&text).map_err(|e| format!("{path} exists but does not parse: {e}")),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(CpsSnapshot::default()),
+        // Any other read failure must not silently clobber a committed
+        // baseline with a fresh single-section file.
+        Err(e) => Err(format!("cannot read {path}: {e}")),
+    }
+}
+
+fn record(args: &Args, path: &str) -> ExitCode {
+    let mut snap = match load(path) {
+        Ok(snap) => snap,
         Err(e) => {
-            // Any other read failure must not silently clobber a committed
-            // baseline with a fresh single-section file.
-            eprintln!("error: cannot read {path}: {e}");
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
     snap.pulses = CPS_SNAPSHOT_PULSES;
-    let section = SnapshotSection {
-        label: label.unwrap_or_else(|| format!("{section_name} engine")),
-        rows,
-    };
-    match section_name {
-        "baseline" => snap.baseline = Some(section),
-        _ => snap.current = Some(section),
+    if args.section == "sharded" {
+        let mut rows = measure_cps_sharded(args.reps, args.max_n);
+        print_sharded_rows(&rows);
+        // With --max-n, keep any committed rows above the cap rather than
+        // silently dropping them from the file.
+        if let (Some(cap), Some(existing)) = (args.max_n, &snap.sharded) {
+            for kept in existing.rows.iter().filter(|r| r.n > cap) {
+                println!("keeping committed sharded n={} (over --max-n)", kept.n);
+                rows.push(kept.clone());
+            }
+            rows.sort_by_key(|r| r.n);
+        }
+        snap.sharded = Some(ShardedSection {
+            label: args
+                .label
+                .clone()
+                .unwrap_or_else(|| "sharded engine vs single-lane".to_owned()),
+            rows,
+        });
+    } else {
+        let rows = measure_cps(args.reps);
+        print_rows(&rows);
+        let section = SnapshotSection {
+            label: args
+                .label
+                .clone()
+                .unwrap_or_else(|| format!("{} engine", args.section)),
+            rows,
+        };
+        match args.section.as_str() {
+            "baseline" => snap.baseline = Some(section),
+            _ => snap.current = Some(section),
+        }
     }
     if let Err(e) = std::fs::write(path, to_json(&snap)) {
         eprintln!("error: cannot write {path}: {e}");
         return ExitCode::FAILURE;
     }
-    println!("\nwrote section '{section_name}' to {path}");
+    println!("\nwrote section '{}' to {path}", args.section);
     ExitCode::SUCCESS
 }
 
-fn check(path: &str, reps: usize) -> ExitCode {
-    let snap = match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|t| from_json(&t)) {
+fn check(args: &Args, path: &str) -> ExitCode {
+    let snap = match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| from_json(&t))
+    {
         Ok(snap) => snap,
         Err(e) => {
             eprintln!("error: cannot load {path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let measured = measure_cps(reps);
+    let measured = measure_cps(args.reps);
     print_rows(&measured);
     let mut drift = false;
     for (name, section) in [("baseline", &snap.baseline), ("current", &snap.current)] {
         let Some(section) = section else { continue };
         for committed in &section.rows {
+            if args.max_n.is_some_and(|cap| committed.n > cap) {
+                println!("skipping {name} n={} (over --max-n)", committed.n);
+                continue;
+            }
             let Some(now) = measured.iter().find(|r| r.n == committed.n) else {
-                eprintln!("DRIFT: committed {name} has n={} but the harness no longer measures it", committed.n);
+                eprintln!(
+                    "DRIFT: committed {name} has n={} but the harness no longer measures it",
+                    committed.n
+                );
                 drift = true;
                 continue;
             };
@@ -137,6 +221,40 @@ fn check(path: &str, reps: usize) -> ExitCode {
             {
                 eprintln!(
                     "DRIFT: n={} {name} committed events/messages {}/{} but this engine produces {}/{}",
+                    committed.n,
+                    committed.events_processed,
+                    committed.messages_delivered,
+                    now.events_processed,
+                    now.messages_delivered
+                );
+                drift = true;
+            }
+        }
+    }
+    if let Some(sharded) = &snap.sharded {
+        // Replaying a sharded row runs both executors and asserts their
+        // counts identical (measure_cps_sharded panics on cross-engine
+        // drift), then the counts are compared against the committed row.
+        let measured_sharded = measure_cps_sharded(args.reps, args.max_n);
+        print_sharded_rows(&measured_sharded);
+        for committed in &sharded.rows {
+            if args.max_n.is_some_and(|cap| committed.n > cap) {
+                println!("skipping sharded n={} (over --max-n)", committed.n);
+                continue;
+            }
+            let Some(now) = measured_sharded.iter().find(|r| r.n == committed.n) else {
+                eprintln!(
+                    "DRIFT: committed sharded has n={} but the harness no longer measures it",
+                    committed.n
+                );
+                drift = true;
+                continue;
+            };
+            if (now.events_processed, now.messages_delivered)
+                != (committed.events_processed, committed.messages_delivered)
+            {
+                eprintln!(
+                    "DRIFT: n={} sharded committed events/messages {}/{} but this engine produces {}/{}",
                     committed.n,
                     committed.events_processed,
                     committed.messages_delivered,
@@ -165,7 +283,8 @@ fn check(path: &str, reps: usize) -> ExitCode {
         eprintln!("\nFAIL: event/message counts drifted from {path}");
         eprintln!(
             "(if the change is intentional, re-record every committed section: \
-             --json {path} --section baseline, then --json {path} --section current)"
+             --json {path} --section baseline, then --section current, then \
+             --section sharded)"
         );
         ExitCode::FAILURE
     } else {
@@ -180,17 +299,21 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: perf_snapshot [--json PATH [--section baseline|current] [--label TEXT]] \
-                 [--check PATH] [--reps N]"
+                "usage: perf_snapshot [--json PATH [--section baseline|current|sharded] \
+                 [--label TEXT]] [--check PATH] [--reps N] [--max-n N]"
             );
             return ExitCode::FAILURE;
         }
     };
-    match (&args.json, &args.check) {
-        (Some(path), None) => record(path, &args.section, args.label, args.reps),
-        (None, Some(path)) => check(path, args.reps),
+    match (args.json.clone(), args.check.clone()) {
+        (Some(path), None) => record(&args, &path),
+        (None, Some(path)) => check(&args, &path),
         (None, None) => {
-            print_rows(&measure_cps(args.reps));
+            if args.section == "sharded" {
+                print_sharded_rows(&measure_cps_sharded(args.reps, args.max_n));
+            } else {
+                print_rows(&measure_cps(args.reps));
+            }
             ExitCode::SUCCESS
         }
         (Some(_), Some(_)) => unreachable!("rejected in parse_args"),

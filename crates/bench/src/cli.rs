@@ -1,0 +1,104 @@
+//! Shared `--n` / `--lanes` command-line handling for the experiment
+//! binaries.
+//!
+//! The experiment binaries historically hard-coded small system sizes
+//! (n ≈ 5–17) because the single-lane engine serialized every delivery.
+//! With the sharded executor ([`crusader_sim::ShardedSim`]) they scale to
+//! hundreds of nodes, so each binary now accepts:
+//!
+//! * `--n N` — override the system size. The binary *validates* that
+//!   the paper's maximum fault budget, `f = ⌈n/2⌉ − 1`, is feasible for
+//!   Theorem 17 at the requested `n` (exiting with a clear message
+//!   instead of silently clamping anything). The sweeps then provision
+//!   that maximum budget — except `e9`, which by design corrupts a
+//!   single node (its attack concerns link uncertainty, not head
+//!   count);
+//! * `--lanes L` — run the scenario on the sharded executor with `L`
+//!   event lanes (`1`, the default, keeps the single-lane reference
+//!   engine). Traces are identical either way; only wall-clock changes.
+
+use crusader_core::{max_faults_with_signatures, Params};
+use crusader_time::Dur;
+
+/// Parsed experiment-binary overrides.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimArgs {
+    /// `--n`: requested system size (`None` keeps the binary's default).
+    pub n: Option<usize>,
+    /// `--lanes`: requested lane count (`None` keeps single-lane).
+    pub lanes: Option<usize>,
+}
+
+impl SimArgs {
+    /// Parses `--n`/`--lanes` from the process arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags or unparsable values.
+    pub fn parse() -> Result<SimArgs, String> {
+        let mut args = SimArgs::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+            match arg.as_str() {
+                "--n" => {
+                    args.n = Some(
+                        value("--n")?
+                            .parse()
+                            .map_err(|e| format!("--n: {e}"))?,
+                    );
+                }
+                "--lanes" => {
+                    args.lanes = Some(
+                        value("--lanes")?
+                            .parse()
+                            .map_err(|e| format!("--lanes: {e}"))?,
+                    );
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        if args.lanes == Some(0) {
+            return Err("--lanes must be at least 1".to_owned());
+        }
+        Ok(args)
+    }
+
+    /// [`parse`](Self::parse), printing usage and exiting on error.
+    #[must_use]
+    pub fn parse_or_exit() -> SimArgs {
+        match Self::parse() {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: [--n N] [--lanes L]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Resolves the system size against the binary's default and
+    /// validates that maximum resilience (`f = ⌈n/2⌉ − 1`) is feasible
+    /// under the given link/clock parameters, exiting with a diagnostic
+    /// otherwise — nothing is silently clamped.
+    #[must_use]
+    pub fn resolve_n(&self, default_n: usize, d: Dur, u: Dur, theta: f64) -> usize {
+        let n = self.n.unwrap_or(default_n);
+        let f = max_faults_with_signatures(n);
+        let params = Params { n, f, d, u, theta };
+        if let Err(e) = params.derive() {
+            eprintln!(
+                "error: n={n} implies f=⌈n/2⌉−1={f}, which is infeasible for \
+                 Theorem 17 under d={d}, u={u}, θ={theta}: {e}"
+            );
+            std::process::exit(2);
+        }
+        n
+    }
+
+    /// The lane count to run with (1 = single-lane reference engine).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes.unwrap_or(1)
+    }
+}

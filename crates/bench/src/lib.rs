@@ -12,6 +12,7 @@ use crusader_sim::{Adversary, Automaton, DelayModel, SimBuilder, Trace};
 use crusader_time::drift::DriftModel;
 use crusader_time::{Dur, Time};
 
+pub mod cli;
 pub mod snapshot;
 
 /// One measured run.
@@ -71,6 +72,10 @@ pub struct Scenario {
     pub pulses: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Event lanes: `1` runs the single-lane reference engine, anything
+    /// larger the sharded executor ([`crusader_sim::ShardedSim`]), which
+    /// produces the identical trace (clamped to `n` by the engine).
+    pub lanes: usize,
 }
 
 impl Scenario {
@@ -90,6 +95,7 @@ impl Scenario {
             drift: DriftModel::RandomStable,
             pulses: 12,
             seed: 0xC0FFEE,
+            lanes: 1,
         }
     }
 
@@ -165,11 +171,20 @@ impl Scenario {
     ) -> (Trace, Derived) {
         let params = self.params();
         let derived = params.derive().expect("feasible scenario");
-        let trace = self
+        let sim = self
             .builder(derived.s)
-            .build(|me| CpsNode::new(me, params, derived), adversary)
-            .run();
-        (trace, derived)
+            .build(|me| CpsNode::new(me, params, derived), adversary);
+        (Self::execute(sim, self.lanes), derived)
+    }
+
+    /// Runs a built simulation on the executor `lanes` selects: the
+    /// single-lane reference engine at 1, the sharded executor above.
+    fn execute<A: Automaton>(sim: crusader_sim::Sim<A>, lanes: usize) -> Trace {
+        if lanes > 1 {
+            sim.sharded(lanes).run()
+        } else {
+            sim.run()
+        }
     }
 
     /// Runs an arbitrary automaton under this scenario.
@@ -183,10 +198,53 @@ impl Scenario {
         A: Automaton,
         F: FnMut(NodeId) -> A,
     {
-        let trace = self.builder(max_offset).build(make_node, adversary).run();
+        let sim = self.builder(max_offset).build(make_node, adversary);
+        let trace = Self::execute(sim, self.lanes);
         let stats = pulse_stats(&trace, &self.honest());
         Measurement::from_stats(&stats, &trace)
     }
+}
+
+/// Canonical FNV-1a hash of everything a [`Trace`] observably contains:
+/// pulse times (as IEEE-754 bit patterns, so a 1-ulp drift flips the
+/// hash), the violation list, forgery/message/event counts, and the
+/// finishing time. Used by the determinism regression test to pin exact
+/// engine behaviour and by the sharded cross-check proptests to compare
+/// executors; `timer_slots_high_water` is deliberately excluded (the
+/// sharded engine reports a per-lane upper bound, see
+/// [`crusader_sim::shard`]).
+#[must_use]
+pub fn trace_hash(trace: &Trace) -> u64 {
+    struct Fnv(u64);
+    impl Fnv {
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        fn write_u64(&mut self, x: u64) {
+            self.write(&x.to_le_bytes());
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    h.write_u64(trace.pulses.len() as u64);
+    for pulses in &trace.pulses {
+        h.write_u64(pulses.len() as u64);
+        for t in pulses {
+            h.write_u64(t.as_secs().to_bits());
+        }
+    }
+    h.write_u64(trace.violations.len() as u64);
+    for v in &trace.violations {
+        h.write(v.as_bytes());
+        h.write(&[0xff]); // separator
+    }
+    h.write_u64(trace.forgeries_blocked);
+    h.write_u64(trace.messages_delivered);
+    h.write_u64(trace.events_processed);
+    h.write_u64(trace.finished_at.as_secs().to_bits());
+    h.0
 }
 
 /// Formats a duration as aligned microseconds.

@@ -9,10 +9,16 @@
 //!   (`perf_snapshot --json BENCH_cps.json --section baseline`);
 //! * the `current` section is refreshed afterwards
 //!   (`... --section current`), making the speedup a diffable fact;
+//! * the `sharded` section (`... --section sharded`) covers the large-`n`
+//!   regime (n ∈ {64, 128, 256}): each row runs the *same* seeded
+//!   scenario through both the single-lane and the sharded executor,
+//!   asserts their event/message counts identical, and records both wall
+//!   clocks — committing the lanes > 1 speedup as a diffable fact;
 //! * CI replays the scenarios and fails if `events_processed` /
 //!   `messages_delivered` drift from the committed counts
-//!   (`perf_snapshot --check BENCH_cps.json`) — wall-clock is reported but
-//!   never gated, since runners vary.
+//!   (`perf_snapshot --check BENCH_cps.json`, optionally bounded by
+//!   `--max-n`) — wall-clock is reported but never gated, since runners
+//!   vary.
 //!
 //! The vendored `serde` stand-in has no data-format backend
 //! (vendor/README.md), so the JSON codec here is hand-rolled: a writer for
@@ -30,11 +36,20 @@ use crate::Scenario;
 /// criterion bench).
 pub const CPS_SNAPSHOT_NS: &[usize] = &[4, 8, 16];
 
+/// System sizes measured by the sharded snapshot — the large-`n` regime
+/// the sharded executor exists for (the single-lane engine is run at the
+/// same sizes for the committed speedup comparison).
+pub const CPS_SHARDED_NS: &[usize] = &[64, 128, 256];
+
+/// Lane count used by the sharded snapshot rows.
+pub const CPS_SHARDED_LANES: usize = 8;
+
 /// Pulses per measured run (mirrors the `cps_sim` criterion bench).
 pub const CPS_SNAPSHOT_PULSES: u64 = 8;
 
-/// Schema tag written into the file, bumped on layout changes.
-pub const SCHEMA: &str = "crusader-bench-cps/v1";
+/// Schema tag written into the file, bumped on layout changes (v2 added
+/// the `sharded` section).
+pub const SCHEMA: &str = "crusader-bench-cps/v2";
 
 /// One measured row: a full `run_cps` at system size `n`.
 #[derive(Clone, Debug, PartialEq)]
@@ -58,6 +73,34 @@ pub struct SnapshotSection {
     pub rows: Vec<SnapshotRow>,
 }
 
+/// One sharded-vs-single measurement at system size `n`: the same seeded
+/// scenario run by both executors, with the deterministic counts asserted
+/// identical at measurement time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedRow {
+    /// System size.
+    pub n: usize,
+    /// Lane count of the sharded run.
+    pub lanes: usize,
+    /// Best-of-reps wall clock of the single-lane engine, in µs.
+    pub wall_clock_single_us: f64,
+    /// Best-of-reps wall clock of the sharded engine, in µs.
+    pub wall_clock_sharded_us: f64,
+    /// Events processed (identical across both executors by assertion).
+    pub events_processed: u64,
+    /// Messages delivered (identical across both executors by assertion).
+    pub messages_delivered: u64,
+}
+
+/// The `sharded` section: large-`n` rows comparing both executors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedSection {
+    /// Human-readable provenance.
+    pub label: String,
+    /// One row per measured system size.
+    pub rows: Vec<ShardedRow>,
+}
+
 /// The whole `BENCH_cps.json` document.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct CpsSnapshot {
@@ -67,6 +110,8 @@ pub struct CpsSnapshot {
     pub baseline: Option<SnapshotSection>,
     /// The numbers for the checked-out engine.
     pub current: Option<SnapshotSection>,
+    /// Large-`n` sharded-vs-single comparison rows.
+    pub sharded: Option<ShardedSection>,
 }
 
 /// The scenario measured for row `n` — one place, so the snapshot, the
@@ -115,6 +160,63 @@ pub fn measure_cps(reps: usize) -> Vec<SnapshotRow> {
         .collect()
 }
 
+/// Measures every size in [`CPS_SHARDED_NS`] at or below `max_n` with
+/// both executors: one warm-up plus `reps` timed runs each, keeping the
+/// minimum wall clock per executor.
+///
+/// # Panics
+///
+/// Panics if the sharded executor's event or message counts differ from
+/// the single-lane engine's at the same seed — the exact drift the CI
+/// bench-smoke job gates on — or if repeated runs disagree with
+/// themselves.
+#[must_use]
+pub fn measure_cps_sharded(reps: usize, max_n: Option<usize>) -> Vec<ShardedRow> {
+    CPS_SHARDED_NS
+        .iter()
+        .filter(|&&n| max_n.is_none_or(|cap| n <= cap))
+        .map(|&n| {
+            let single = cps_scenario(n);
+            let mut sharded = cps_scenario(n);
+            sharded.lanes = CPS_SHARDED_LANES;
+            let (reference, _) = single.run_cps_trace(Box::new(SilentAdversary)); // warm-up
+            let mut best = [f64::INFINITY; 2];
+            for (which, s) in [&single, &sharded].into_iter().enumerate() {
+                if which == 1 {
+                    // Warm the sharded executor separately: it has its own
+                    // allocations and thread paths, and an unwarmed first
+                    // rep would bias the committed comparison against it.
+                    let (warm, _) = s.run_cps_trace(Box::new(SilentAdversary));
+                    assert_eq!(
+                        (warm.events_processed, warm.messages_delivered),
+                        (reference.events_processed, reference.messages_delivered),
+                        "sharded/single count drift at n={n}"
+                    );
+                }
+                for _ in 0..reps.max(1) {
+                    let started = Instant::now();
+                    let (trace, _) = s.run_cps_trace(Box::new(SilentAdversary));
+                    let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
+                    best[which] = best[which].min(elapsed_us);
+                    assert_eq!(
+                        (trace.events_processed, trace.messages_delivered),
+                        (reference.events_processed, reference.messages_delivered),
+                        "sharded/single count drift at n={n}"
+                    );
+                }
+            }
+            ShardedRow {
+                n,
+                lanes: CPS_SHARDED_LANES,
+                wall_clock_single_us: best[0],
+                wall_clock_sharded_us: best[1],
+                events_processed: reference.events_processed,
+                messages_delivered: reference.messages_delivered,
+            }
+        })
+        .collect()
+}
+
 /// Serializes a snapshot to the committed JSON layout.
 #[must_use]
 pub fn to_json(snap: &CpsSnapshot) -> String {
@@ -143,7 +245,32 @@ pub fn to_json(snap: &CpsSnapshot) -> String {
             out.push_str(if j + 1 < section.rows.len() { ",\n" } else { "\n" });
         }
         out.push_str("    ]\n");
-        out.push_str(if i + 1 < sections.len() { "  },\n" } else { "  }\n" });
+        out.push_str(if i + 1 < sections.len() || snap.sharded.is_some() {
+            "  },\n"
+        } else {
+            "  }\n"
+        });
+    }
+    if let Some(sharded) = &snap.sharded {
+        out.push_str("  \"sharded\": {\n");
+        let _ = writeln!(out, "    \"label\": \"{}\",", escape(&sharded.label));
+        out.push_str("    \"rows\": [\n");
+        for (j, row) in sharded.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "      {{\"n\": {}, \"lanes\": {}, \"wall_clock_single_us\": {:.3}, \
+                 \"wall_clock_sharded_us\": {:.3}, \"events_processed\": {}, \
+                 \"messages_delivered\": {}}}",
+                row.n,
+                row.lanes,
+                row.wall_clock_single_us,
+                row.wall_clock_sharded_us,
+                row.events_processed,
+                row.messages_delivered
+            );
+            out.push_str(if j + 1 < sharded.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("    ]\n  }\n");
     }
     out.push_str("}\n");
     out
@@ -188,6 +315,29 @@ pub fn from_json(text: &str) -> Result<CpsSnapshot, String> {
             })
             .collect::<Result<Vec<_>, String>>()?;
         *slot = Some(SnapshotSection {
+            label: get(section, "label")?.as_str()?.to_owned(),
+            rows,
+        });
+    }
+    if let Some((_, section)) = top.iter().find(|(k, _)| k == "sharded") {
+        let section = section.as_object()?;
+        let rows = get(section, "rows")?
+            .as_array()?
+            .iter()
+            .map(|row| {
+                let row = row.as_object()?;
+                Ok(ShardedRow {
+                    n: usize::try_from(get(row, "n")?.as_u64()?).map_err(|e| e.to_string())?,
+                    lanes: usize::try_from(get(row, "lanes")?.as_u64()?)
+                        .map_err(|e| e.to_string())?,
+                    wall_clock_single_us: get(row, "wall_clock_single_us")?.as_f64()?,
+                    wall_clock_sharded_us: get(row, "wall_clock_sharded_us")?.as_f64()?,
+                    events_processed: get(row, "events_processed")?.as_u64()?,
+                    messages_delivered: get(row, "messages_delivered")?.as_u64()?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        snap.sharded = Some(ShardedSection {
             label: get(section, "label")?.as_str()?.to_owned(),
             rows,
         });
@@ -427,6 +577,7 @@ mod tests {
                 }],
             }),
             current: None,
+            sharded: None,
         }
     }
 
@@ -436,6 +587,23 @@ mod tests {
         let text = to_json(&snap);
         let back = from_json(&text).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn json_roundtrip_with_sharded_section() {
+        let mut snap = sample();
+        snap.sharded = Some(ShardedSection {
+            label: "lanes=8 scoped-thread executor".to_owned(),
+            rows: vec![ShardedRow {
+                n: 64,
+                lanes: 8,
+                wall_clock_single_us: 30000.0,
+                wall_clock_sharded_us: 15000.5,
+                events_processed: 123_456,
+                messages_delivered: 100_000,
+            }],
+        });
+        assert_eq!(from_json(&to_json(&snap)).unwrap(), snap);
     }
 
     #[test]

@@ -8,51 +8,8 @@
 //! correctness regression (or consciously re-pinned with a justification).
 
 use crusader_bench::snapshot::cps_scenario;
-use crusader_sim::{SilentAdversary, Trace};
-
-/// FNV-1a, the same construction the symbolic signature scheme uses; no
-/// external dependency and stable across platforms.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn write_u64(&mut self, x: u64) {
-        self.write(&x.to_le_bytes());
-    }
-}
-
-/// Canonical hash of everything a trace observably contains. Times enter
-/// as IEEE-754 bit patterns, so even a 1-ulp drift flips the hash.
-fn trace_hash(trace: &Trace) -> u64 {
-    let mut h = Fnv::new();
-    h.write_u64(trace.pulses.len() as u64);
-    for pulses in &trace.pulses {
-        h.write_u64(pulses.len() as u64);
-        for t in pulses {
-            h.write_u64(t.as_secs().to_bits());
-        }
-    }
-    h.write_u64(trace.violations.len() as u64);
-    for v in &trace.violations {
-        h.write(v.as_bytes());
-        h.write(&[0xff]); // separator
-    }
-    h.write_u64(trace.forgeries_blocked);
-    h.write_u64(trace.messages_delivered);
-    h.write_u64(trace.events_processed);
-    h.write_u64(trace.finished_at.as_secs().to_bits());
-    h.0
-}
+use crusader_bench::trace_hash;
+use crusader_sim::SilentAdversary;
 
 /// `(n, expected trace hash)` for the snapshot scenario at each size.
 const PINNED: &[(usize, u64)] = &[
@@ -73,6 +30,26 @@ fn fixed_seed_cps_traces_are_pinned() {
              (events={}, messages={}, violations={:?})",
             trace.events_processed, trace.messages_delivered, trace.violations
         );
+    }
+}
+
+/// The sharded executor must reproduce the *same pinned hashes* as the
+/// single-lane engine, for every lane count: the lanes/mailboxes/lookahead
+/// machinery (`crusader_sim::shard`) is a scheduling change, never a
+/// behavioural one.
+#[test]
+fn sharded_engine_reproduces_pinned_hashes() {
+    for &(n, expected) in PINNED {
+        for lanes in [1, 2, 3, 8] {
+            let mut scenario = cps_scenario(n);
+            scenario.lanes = lanes;
+            let (trace, _) = scenario.run_cps_trace(Box::new(SilentAdversary));
+            let got = trace_hash(&trace);
+            assert_eq!(
+                got, expected,
+                "n={n} lanes={lanes}: sharded trace hash {got:#018x} != pinned {expected:#018x}"
+            );
+        }
     }
 }
 

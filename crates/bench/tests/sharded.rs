@@ -1,0 +1,94 @@
+//! Cross-check proptests: the sharded executor must produce the exact
+//! single-lane trace — hash-for-hash — across random seeds, system sizes,
+//! lane counts, delay models, faulty-link uncertainties, and adversaries
+//! (passive, staggering dealer, rushing forwarder).
+//!
+//! This is the property the whole `crusader_sim::shard` design hangs on:
+//! sharding is a *scheduling* change, never a behavioural one. The pinned
+//! fixed-seed hashes live in `determinism.rs`; these tests sweep the
+//! configuration space around them.
+
+use crusader_bench::{trace_hash, Scenario};
+use crusader_core::adversary::{RushingForwarder, StaggeredDealer};
+use crusader_core::Carry;
+use crusader_sim::{Adversary, DelayModel, SilentAdversary};
+use crusader_time::Dur;
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+
+fn adversary(choice: u8) -> Box<dyn Adversary<Carry>> {
+    match choice % 3 {
+        0 => Box::new(SilentAdversary),
+        1 => Box::new(StaggeredDealer::new(Dur::from_micros(300.0))),
+        _ => Box::new(RushingForwarder::new()),
+    }
+}
+
+fn delay_model(choice: u8) -> DelayModel {
+    match choice % 4 {
+        0 => DelayModel::Random,
+        1 => DelayModel::Extremal,
+        2 => DelayModel::MinAlways,
+        _ => DelayModel::Tilted,
+    }
+}
+
+fn scenario(n: usize, seed: u64, u_tilde_mult: u8, delays: u8) -> Scenario {
+    let mut s = Scenario::new(n, Dur::from_millis(1.0), Dur::from_micros(10.0), 1.0005);
+    s.seed = seed;
+    s.pulses = 3;
+    s.delays = delay_model(delays);
+    if u_tilde_mult > 1 {
+        s.u_tilde = Some(Dur::from_micros(10.0 * f64::from(u_tilde_mult)));
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Identical trace hashes over random (seed, n, lanes, ũ, delay
+    /// model, adversary) — the full cross-product the engine supports.
+    #[test]
+    fn prop_sharded_trace_matches_single_lane(
+        n in 2usize..10,
+        seed in 0u64..1000,
+        lanes in 2usize..6,
+        u_tilde_mult in 1u8..4,
+        delays in 0u8..4,
+        adv in 0u8..3,
+    ) {
+        let single = scenario(n, seed, u_tilde_mult, delays);
+        let mut sharded = single.clone();
+        sharded.lanes = lanes;
+        let (ts, _) = single.run_cps_trace(adversary(adv));
+        let (tp, _) = sharded.run_cps_trace(adversary(adv));
+        prop_assert_eq!(
+            trace_hash(&ts),
+            trace_hash(&tp),
+            "trace diverged at n={} seed={} lanes={} ũ×{} delays={} adv={}",
+            n, seed, lanes, u_tilde_mult, delays, adv
+        );
+    }
+
+    /// The degenerate zero-lookahead regime (ũ = d): windows shrink to
+    /// single timestamps; equivalence must survive that too.
+    #[test]
+    fn prop_sharded_matches_at_zero_lookahead(
+        n in 2usize..8,
+        seed in 0u64..1000,
+        lanes in 2usize..5,
+        adv in 0u8..3,
+    ) {
+        let mut single =
+            Scenario::new(n, Dur::from_millis(1.0), Dur::from_micros(10.0), 1.0005);
+        single.seed = seed;
+        single.pulses = 2;
+        single.u_tilde = Some(Dur::from_millis(1.0)); // ũ = d
+        let mut sharded = single.clone();
+        sharded.lanes = lanes;
+        let (ts, _) = single.run_cps_trace(adversary(adv));
+        let (tp, _) = sharded.run_cps_trace(adversary(adv));
+        prop_assert_eq!(trace_hash(&ts), trace_hash(&tp));
+    }
+}

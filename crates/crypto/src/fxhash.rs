@@ -10,6 +10,22 @@
 //! its trailing chunk, so variable-length inputs can alias (`""` vs `"\0"`).
 //! Use it for fixed-width keys; for variable-length data fold the length in
 //! yourself (as `KnowledgeTracker`'s claim fingerprints do).
+//!
+//! # Collision odds
+//!
+//! Treating the mix as a random 64-bit function (a good approximation on
+//! the process-generated inputs it is restricted to), two distinct inputs
+//! collide with probability 2⁻⁶⁴, and a table of `k` distinct keys
+//! contains *some* collision with probability ≈ `k²/2⁶⁵` (birthday
+//! bound): about 2.7 × 10⁻¹¹ at one million keys and still only
+//! 2.7 × 10⁻⁷ at one hundred million — far below anything a simulation
+//! sweep can observe. `KnowledgeTracker` narrows the exposure further by
+//! pairing *two* independent 64-bit fingerprints per claim (message and
+//! signature), so a false claim-identity needs a simultaneous collision
+//! in both: ≈ 2⁻¹²⁸ per pair. These are *accidental*-collision odds only;
+//! the mix is trivially invertible, so none of this holds against an
+//! adversary who chooses the inputs — which is why the type is reserved
+//! for keys the process itself generates.
 
 use std::hash::{BuildHasherDefault, Hasher};
 

@@ -14,7 +14,11 @@ pub use crate::event::TimerId;
 /// interior synchronization.
 pub trait Automaton: Send {
     /// The protocol's message type.
-    type Msg: Clone + std::fmt::Debug + CarriesSignatures + Send + 'static;
+    ///
+    /// Messages are immutable values once sent; `Sync` lets the sharded
+    /// executor ([`Sim::sharded`](crate::Sim::sharded)) share one
+    /// broadcast payload across lanes running on different threads.
+    type Msg: Clone + std::fmt::Debug + CarriesSignatures + Send + Sync + 'static;
 
     /// Called once at time 0 (before any message or timer).
     fn on_init(&mut self, ctx: &mut dyn Context<Self::Msg>);

@@ -15,10 +15,10 @@ use crate::trace::Trace;
 
 /// Hard limits for a run.
 #[derive(Clone, Copy, Debug)]
-struct RunLimits {
-    horizon: Time,
-    max_pulses: Option<u64>,
-    max_events: u64,
+pub(crate) struct RunLimits {
+    pub(crate) horizon: Time,
+    pub(crate) max_pulses: Option<u64>,
+    pub(crate) max_events: u64,
 }
 
 /// Configures and constructs a [`Sim`].
@@ -238,7 +238,7 @@ impl SimBuilder {
     }
 }
 
-enum Effect<M> {
+pub(crate) enum Effect<M> {
     Send { to: NodeId, msg: M },
     /// One payload for all `n` destinations; the engine wraps it in an
     /// `Arc` so the fan-out shares it instead of deep-cloning `n` times.
@@ -253,37 +253,37 @@ enum Effect<M> {
 ///
 /// Construct via [`SimBuilder`]; consume via [`Sim::run`].
 pub struct Sim<A: Automaton> {
-    n: usize,
-    faulty: BTreeSet<NodeId>,
+    pub(crate) n: usize,
+    pub(crate) faulty: BTreeSet<NodeId>,
     /// `faulty` as a by-index bitmap: the per-message fault checks (link
     /// bounds, delivery routing) are one load instead of a tree probe.
-    faulty_mask: Vec<bool>,
+    pub(crate) faulty_mask: Vec<bool>,
     /// Sampled once from [`Adversary::is_passive`]; `true` skips the
     /// adversary callbacks on every message.
-    adversary_passive: bool,
-    honest: Vec<NodeId>,
-    link: LinkConfig,
-    delay_model: DelayModel,
-    clocks: Vec<HardwareClock>,
-    signers: Vec<Arc<dyn Signer>>,
-    verifier: Arc<dyn Verifier>,
-    adv_signer: RestrictedSigner,
-    knowledge: KnowledgeTracker,
-    nodes: Vec<Option<A>>,
-    adversary: Box<dyn Adversary<A::Msg>>,
-    queue: EventQueue<A::Msg>,
-    now: Time,
-    timers: TimerSlab,
+    pub(crate) adversary_passive: bool,
+    pub(crate) honest: Vec<NodeId>,
+    pub(crate) link: LinkConfig,
+    pub(crate) delay_model: DelayModel,
+    pub(crate) clocks: Vec<HardwareClock>,
+    pub(crate) signers: Vec<Arc<dyn Signer>>,
+    pub(crate) verifier: Arc<dyn Verifier>,
+    pub(crate) adv_signer: RestrictedSigner,
+    pub(crate) knowledge: KnowledgeTracker,
+    pub(crate) nodes: Vec<Option<A>>,
+    pub(crate) adversary: Box<dyn Adversary<A::Msg>>,
+    pub(crate) queue: EventQueue<A::Msg>,
+    pub(crate) now: Time,
+    pub(crate) timers: TimerSlab,
     /// Pooled effect buffer, reused across every `with_node` call so the
     /// per-event `Vec` allocation happens once per run, not once per event.
-    node_effects: Vec<Effect<A::Msg>>,
+    pub(crate) node_effects: Vec<Effect<A::Msg>>,
     /// Pooled adversary effect buffer (same rationale).
-    adv_effects: Vec<AdvEffect<A::Msg>>,
+    pub(crate) adv_effects: Vec<AdvEffect<A::Msg>>,
     /// Set when an `Effect::Pulse` lands; gates the completion scan.
-    pulse_recorded: bool,
-    trace: Trace,
-    limits: RunLimits,
-    rng: SmallRng,
+    pub(crate) pulse_recorded: bool,
+    pub(crate) trace: Trace,
+    pub(crate) limits: RunLimits,
+    pub(crate) rng: SmallRng,
 }
 
 impl<A: Automaton> Sim<A> {
@@ -297,6 +297,26 @@ impl<A: Automaton> Sim<A> {
     #[must_use]
     pub fn clocks(&self) -> &[HardwareClock] {
         &self.clocks
+    }
+
+    /// Converts this simulation into the sharded executor with `lanes`
+    /// per-node event lanes (see [`ShardedSim`](crate::ShardedSim)).
+    ///
+    /// The sharded executor produces the *same trace, bit for bit*, as
+    /// [`Sim::run`] would — lanes advance in parallel only up to the
+    /// conservative lookahead horizon `d − ũ`, and all globally ordered
+    /// state (RNG, sequence numbers, the adversary, the knowledge tracker)
+    /// is touched in a sequential reconcile that replays the single-lane
+    /// order. Use it for large `n`, where one event loop serializes every
+    /// delivery; the single-lane engine remains the reference
+    /// implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    #[must_use]
+    pub fn sharded(self, lanes: usize) -> crate::shard::ShardedSim<A> {
+        crate::shard::ShardedSim::new(self, lanes)
     }
 
     /// Runs the simulation to completion and returns the trace.
@@ -580,14 +600,14 @@ impl<A: Automaton> Sim<A> {
 
 /// Node-side context implementation (separate from `SimCtx` so the
 /// `broadcast` clone has access to `M: Clone`).
-struct NodeCtx<'a, M> {
-    me: NodeId,
-    n: usize,
-    now_local: LocalTime,
-    signer: &'a dyn Signer,
-    verifier: &'a dyn Verifier,
-    timers: &'a mut TimerSlab,
-    effects: &'a mut Vec<Effect<M>>,
+pub(crate) struct NodeCtx<'a, M> {
+    pub(crate) me: NodeId,
+    pub(crate) n: usize,
+    pub(crate) now_local: LocalTime,
+    pub(crate) signer: &'a dyn Signer,
+    pub(crate) verifier: &'a dyn Verifier,
+    pub(crate) timers: &'a mut TimerSlab,
+    pub(crate) effects: &'a mut Vec<Effect<M>>,
 }
 
 impl<'a, M: Clone> Context<M> for NodeCtx<'a, M> {

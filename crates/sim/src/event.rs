@@ -147,6 +147,40 @@ pub(crate) struct Event<M> {
     pub kind: EventKind<M>,
 }
 
+/// The global total order of the simulation: `(at, seq)` packed into one
+/// integer exactly as [`HeapEntry`] packs it (minus the slab slot), so a
+/// key comparison is a single `u128` compare and keys taken from
+/// *different* per-lane queues order identically to entries inside one
+/// queue. This is the merge token of the sharded engine
+/// ([`crate::shard`]): every recorded effect carries its source event's
+/// key, and the reconcile phase replays records in ascending key order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub(crate) struct EventKey(u128);
+
+impl EventKey {
+    #[inline]
+    pub fn new(at: Time, seq: u64) -> Self {
+        debug_assert!(seq < SEQ_LIMIT, "seq out of range");
+        let secs = at.as_secs();
+        debug_assert!(secs >= 0.0, "events cannot be scheduled before t=0");
+        EventKey((u128::from(secs.to_bits()) << 64) | (u128::from(seq) << SLOT_BITS))
+    }
+
+    #[inline]
+    pub fn at(self) -> Time {
+        #[allow(clippy::cast_possible_truncation)]
+        Time::from_secs(f64::from_bits((self.0 >> 64) as u64))
+    }
+
+    #[inline]
+    pub fn seq(self) -> u64 {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            ((self.0 >> SLOT_BITS) as u64) & (SEQ_LIMIT - 1)
+        }
+    }
+}
+
 /// The 16-byte `Copy` record the heap actually orders: one `u128` packing
 /// `(at, seq, slot)` so the entire `(at, seq)` comparison — ties broken by
 /// insertion order, making the whole simulation deterministic — is a
@@ -170,6 +204,12 @@ const SEQ_LIMIT: u64 = 1 << (64 - SLOT_BITS);
 const SLOT_LIMIT: u32 = 1 << SLOT_BITS;
 
 impl HeapEntry {
+    /// The `(at, seq)` prefix, with the slot masked off.
+    #[inline]
+    fn key(self) -> EventKey {
+        EventKey(self.0 & !u128::from(SLOT_LIMIT - 1))
+    }
+
     #[inline]
     fn new(at: Time, seq: u64, slot: u32) -> Self {
         let secs = at.as_secs();
@@ -232,8 +272,19 @@ impl<M> EventQueue<M> {
 
     pub fn push(&mut self, at: Time, kind: EventKind<M>) {
         let seq = self.next_seq;
-        assert!(seq < SEQ_LIMIT, "more than 2^36 events scheduled");
         self.next_seq += 1;
+        self.push_with_seq(at, seq, kind);
+    }
+
+    /// [`push`](Self::push) with an externally assigned sequence number.
+    ///
+    /// The sharded engine allocates sequence numbers centrally (its
+    /// reconcile phase replays pushes in the single-lane engine's order)
+    /// and routes each event into the destination node's lane-local queue;
+    /// this entry point bypasses the queue's own counter so `(at, seq)`
+    /// keys stay globally unique and globally ordered across lanes.
+    pub fn push_with_seq(&mut self, at: Time, seq: u64, kind: EventKind<M>) {
+        assert!(seq < SEQ_LIMIT, "more than 2^36 events scheduled");
         let slot = match self.free.pop() {
             Some(slot) => {
                 debug_assert!(self.slots[slot as usize].is_none(), "free slot occupied");
@@ -251,6 +302,19 @@ impl<M> EventQueue<M> {
         };
         self.heap.push(HeapEntry::new(at, seq, slot));
         self.sift_up(self.heap.len() - 1);
+    }
+
+    /// The `(at, seq)` key of the next event, without popping it. Drives
+    /// the sharded engine's window computation and in-window pop loop.
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.heap.first().map(|e| e.key())
+    }
+
+    /// [`pop`](Self::pop), also returning the event's global-order key.
+    pub fn pop_keyed(&mut self) -> Option<(EventKey, Event<M>)> {
+        let key = self.peek_key()?;
+        let event = self.pop().expect("peeked queue is non-empty");
+        Some((key, event))
     }
 
     pub fn pop(&mut self) -> Option<Event<M>> {
@@ -323,6 +387,16 @@ impl<M> EventQueue<M> {
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Number of `Deliver` events currently pending — the sharded engine's
+    /// mailbox-conservation diagnostics count undelivered messages here.
+    pub fn pending_deliveries(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|k| matches!(k, EventKind::Deliver { .. }))
+            .count()
     }
 
     /// Slab slots currently sitting on the free list (leak diagnostics).

@@ -45,6 +45,15 @@
 //!   [`Adversary::is_passive`], letting the engine skip per-message
 //!   callback plumbing and knowledge bookkeeping they can never observe.
 //!
+//! For large `n` — where one event loop serializes every delivery — the
+//! engine shards into per-node event lanes with a deterministic merge:
+//! [`Sim::sharded`] splits the run across lane-local queues that advance
+//! (in parallel, when the host has the cores) up to a conservative
+//! lookahead horizon `d − ũ`, exchanging cross-lane sends through
+//! fixed-order mailboxes so the merged `(at, seq)` order — and therefore
+//! every pinned trace hash — is bit-for-bit identical to this single-lane
+//! reference engine. See [`shard`] for the design and its proof sketch.
+//!
 //! Committed before/after numbers live in `BENCH_cps.json` at the repo
 //! root (see the README's *Engine internals & performance* section for
 //! the `perf_snapshot` record/check workflow); a pinned trace-hash test
@@ -91,12 +100,14 @@ mod network;
 mod trace;
 
 pub mod metrics;
+pub mod shard;
 pub mod synchronous;
 
 pub use adversary::{Adversary, AdversaryApi, SilentAdversary};
 pub use automaton::{Automaton, Context, TimerId};
 pub use engine::{Sim, SimBuilder};
 pub use network::{DelayModel, LinkConfig};
+pub use shard::{MailboxStats, ShardedSim};
 pub use trace::Trace;
 
 #[cfg(test)]

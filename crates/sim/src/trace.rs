@@ -27,6 +27,14 @@ pub struct Trace {
     /// memory bound of the engine's generation-stamped timer slab. Scales
     /// with protocol fan-out (timers outstanding per node), *not* with run
     /// length; the regression test in `engine.rs` pins that property.
+    ///
+    /// Under the sharded executor ([`crate::ShardedSim`]) this is the
+    /// *sum* of the per-lane slab high-waters — still a valid bound on
+    /// total slab memory, but an upper estimate of the single-lane value
+    /// (lanes cannot observe each other's concurrent occupancy), and the
+    /// one field of this struct that is not bit-identical across the two
+    /// executors. It is deliberately excluded from the determinism
+    /// trace hash for that reason.
     pub timer_slots_high_water: u64,
 }
 
