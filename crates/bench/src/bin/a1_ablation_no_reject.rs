@@ -6,6 +6,7 @@
 //! full stagger, and the midpoint step dutifully chases it: the skew
 //! escapes the Theorem 17 bound.
 
+use crusader_bench::cli::SimArgs;
 use crusader_bench::Scenario;
 use crusader_core::adversary::StaggeredDealer;
 use crusader_core::{CpsNode, TcbWindows};
@@ -13,14 +14,17 @@ use crusader_sim::DelayModel;
 use crusader_time::drift::DriftModel;
 use crusader_time::Dur;
 
-fn run(reject: bool, stagger_us: f64) -> (f64, f64, usize) {
-    // f = 2 = ⌈5/3⌉: beyond the signature-free bound, where the discard
-    // rule alone can no longer absorb timing equivocation — this is
-    // exactly the regime the echo-rejection rule exists for. (At f < n/3
-    // the ablated protocol degrades gracefully into Lynch–Welch and the
-    // discard rule hides the difference.)
-    let mut s = Scenario::new(5, Dur::from_millis(1.0), Dur::from_micros(20.0), 1.003);
-    s.faulty = vec![3, 4];
+fn run(n: usize, lanes: usize, reject: bool, stagger_us: f64) -> (f64, f64, usize) {
+    // At the default n = 5, f = ⌈n/2⌉ − 1 = 2 = ⌈5/3⌉: beyond the
+    // signature-free bound, where the discard rule alone can no longer
+    // absorb timing equivocation — this is exactly the regime the
+    // echo-rejection rule exists for. (At f < n/3 the ablated protocol
+    // degrades gracefully into Lynch–Welch and the discard rule hides
+    // the difference.)
+    let f = crusader_core::max_faults_with_signatures(n);
+    let mut s = Scenario::new(n, Dur::from_millis(1.0), Dur::from_micros(20.0), 1.003);
+    s.faulty = (n - f..n).collect();
+    s.lanes = lanes;
     s.delays = DelayModel::Random;
     s.drift = DriftModel::ExtremalSplit;
     s.pulses = 80;
@@ -49,12 +53,15 @@ fn run(reject: bool, stagger_us: f64) -> (f64, f64, usize) {
 }
 
 fn main() {
-    println!("# A1: ablating TCB's echo rejection (n = 5, f = 2, staggered dealers)\n");
+    let args = SimArgs::parse_or_exit();
+    let n = args.resolve_n(5, Dur::from_millis(1.0), Dur::from_micros(20.0), 1.003);
+    let f = crusader_core::max_faults_with_signatures(n);
+    println!("# A1: ablating TCB's echo rejection (n = {n}, f = {f}, staggered dealers)\n");
     println!("| stagger (µs) | rejection | steady skew (µs) | S bound (µs) | within S |");
     println!("|--------------|-----------|------------------|--------------|----------|");
     for stagger in [50.0, 150.0, 250.0, 350.0, 450.0] {
         for reject in [true, false] {
-            let (skew, s, _viol) = run(reject, stagger);
+            let (skew, s, _viol) = run(n, args.lanes(), reject, stagger);
             println!(
                 "| {:>12.0} | {:>9} | {:>13.3} | {:>12.3} | {:>8} |",
                 stagger,

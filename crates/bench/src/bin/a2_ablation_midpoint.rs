@@ -6,6 +6,7 @@
 //! outside the honest range, which in CPS translates to unbounded skew
 //! growth (the liars re-lie every round).
 
+use crusader_bench::cli::SimArgs;
 use crusader_core::midpoint::{midpoint, select_interval};
 use crusader_time::Dur;
 use rand::rngs::SmallRng;
@@ -22,10 +23,13 @@ fn naive_midpoint(values: &[Dur]) -> Dur {
 }
 
 fn main() {
-    println!("# A2: selection-rule ablation (n = 9, f = 4, 10000 adversarial vectors)\n");
+    let args = SimArgs::parse_or_exit();
+    args.reject_lanes("a2 samples estimate vectors directly, without the event simulator");
+    let n = args.resolve_n_structural(9);
+    let f = crusader_core::max_faults_with_signatures(n);
+    println!("# A2: selection-rule ablation (n = {n}, f = {f}, 10000 adversarial vectors)\n");
     let mut rng = SmallRng::seed_from_u64(42);
     let trials = 10_000;
-    let (n, f) = (9usize, 4usize);
     let honest = n - f;
 
     let mut out_of_range = [0u64; 3]; // paper rule, naive midpoint, mean

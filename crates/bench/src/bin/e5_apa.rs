@@ -1,6 +1,11 @@
 //! E5 — Theorem 9 / Corollary 2: approximate agreement halves the range
 //! per 2-round iteration, at resilience ⌈n/2⌉−1, for any ℓ/ε.
+//!
+//! Takes `--n N` (default 7) for the convergence sweep: `f = ⌈n/2⌉ − 1`
+//! equivocating dealers against `n − f` honest nodes. Runs on the
+//! synchronous round executor, so `--lanes` is rejected.
 
+use crusader_bench::cli::SimArgs;
 use crusader_core::cb::{cb_sign_bytes, SignedValue};
 use crusader_core::{iterations_for, ApaMsg, ApaNode};
 use crusader_crypto::{KeyRing, NodeId};
@@ -53,19 +58,25 @@ fn spread(outs: &[Option<f64>]) -> f64 {
 }
 
 fn main() {
+    let args = SimArgs::parse_or_exit();
+    args.reject_lanes("e5 runs the synchronous round executor, which has no event lanes");
+    let n = args.resolve_n_structural(7);
+    let f = crusader_core::max_faults_with_signatures(n);
+    let honest = n - f;
     println!("# E5: approximate agreement (Theorem 9 / Corollary 2)\n");
-    println!("## Convergence per iteration (n = 7, f = 3, equivocating dealers)\n");
+    println!("## Convergence per iteration (n = {n}, f = {f}, equivocating dealers)\n");
     println!("| iterations | rounds | final spread | ℓ/2^k bound |");
     println!("|------------|--------|--------------|-------------|");
-    let n = 7;
-    let f = 3;
     let ell = 8.0;
     for iters in 1..=8usize {
         let ring = KeyRing::symbolic(n, 5);
-        let inputs: Vec<f64> = (0..n).map(|i| (i as f64) * ell / 3.0).collect();
+        // Honest inputs span [0, ℓ] exactly (the faulty tail's inputs are
+        // never read).
+        let spread_div = honest.saturating_sub(1).max(1) as f64;
+        let inputs: Vec<f64> = (0..n).map(|i| (i as f64) * ell / spread_div).collect();
         let nodes: Vec<Option<ApaNode>> = (0..n)
             .map(|i| {
-                (i < 4).then(|| {
+                (i < honest).then(|| {
                     let me = NodeId::new(i);
                     ApaNode::new(me, n, f, iters, inputs[i], ring.signer(me), ring.verifier())
                 })
@@ -73,7 +84,7 @@ fn main() {
             .collect();
         let mut adv = SplitDealers {
             ring: ring.clone(),
-            faulty: (4..7).map(NodeId::new).collect(),
+            faulty: (honest..n).map(NodeId::new).collect(),
             n,
         };
         let run = run_rounds(nodes, &mut adv, 2 * iters);

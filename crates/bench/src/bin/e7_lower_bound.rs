@@ -4,11 +4,18 @@
 //! exactly; the implied adversary is audited per Lemma 18.
 
 use crusader_baselines::EchoSyncNode;
+use crusader_bench::cli::SimArgs;
 use crusader_core::{CpsNode, Params};
 use crusader_lowerbound::{evaluate, TriConfig, TriSim};
 use crusader_time::Dur;
 
 fn main() {
+    let args = SimArgs::parse_or_exit();
+    args.require_n(
+        3,
+        "Theorem 5's construction is a tri-execution over exactly three nodes",
+    );
+    args.reject_lanes("e7 runs the lower-bound tri-execution engine, not the event-lane simulator");
     let d = Dur::from_millis(1.0);
     let theta = 1.05;
     println!("# E7: Theorem 5 lower bound (n = 3, f = 1, d = {d}, θ = {theta})\n");

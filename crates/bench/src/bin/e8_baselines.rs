@@ -2,8 +2,14 @@
 //! Lynch–Welch (f < n/3, no signatures), Srikanth–Toueg-style echo sync
 //! (f < n/2, skew Θ(d)), and consensus-style chain sync (f < n/2, skew
 //! growing in f), all on identical network parameters.
+//!
+//! `--n N` replaces the default sweep (n ∈ {4, 6, 8, 12, 16}) with the
+//! single requested size (validated for Theorem 17 feasibility at the
+//! maximum fault budget); `--lanes L` runs every protocol on the sharded
+//! executor.
 
 use crusader_baselines::{ChainSyncNode, EchoSyncNode, LwNode, SelectiveEcho};
+use crusader_bench::cli::SimArgs;
 use crusader_bench::Scenario;
 use crusader_core::max_faults_without_signatures;
 use crusader_crypto::NodeId;
@@ -12,17 +18,23 @@ use crusader_time::drift::DriftModel;
 use crusader_time::Dur;
 
 fn main() {
+    let args = SimArgs::parse_or_exit();
     let d = Dur::from_millis(1.0);
     let u = Dur::from_micros(10.0);
     let theta = 1.001;
+    let ns: Vec<usize> = match args.n {
+        Some(_) => vec![args.resolve_n(4, d, u, theta)],
+        None => vec![4, 6, 8, 12, 16],
+    };
     println!("# E8: baseline comparison (d = {d}, u = {u}, θ = {theta})\n");
     println!("steady-state skew in µs; f = max each protocol supports at that n\n");
     println!("| n | f_cps | CPS | Lynch–Welch (f<n/3) | echo sync (attacked) | chain sync |");
     println!("|---|-------|-----|---------------------|----------------------|------------|");
-    for n in [4usize, 6, 8, 12, 16] {
+    for n in ns {
         let mut s = Scenario::new(n, d, u, theta);
         s.pulses = 12;
         s.drift = DriftModel::ExtremalSplit;
+        s.lanes = args.lanes();
         let f_cps = s.faulty.len();
         let (cps, _) = s.run_cps(Box::new(SilentAdversary));
 

@@ -4,9 +4,11 @@
 //! perf_snapshot                                  # print a table, touch nothing
 //! perf_snapshot --json BENCH_cps.json --section baseline [--label TEXT]
 //! perf_snapshot --json BENCH_cps.json            # refresh the "current" section
+//! perf_snapshot --json BENCH_cps.json --section queue     # ladder-queue engine + spill
 //! perf_snapshot --json BENCH_cps.json --section sharded   # large-n, both executors
 //! perf_snapshot --check BENCH_cps.json           # CI: fail on count drift
 //! perf_snapshot --check BENCH_cps.json --max-n 64  # CI: skip larger rows
+//! perf_snapshot --compare BENCH_cps.json         # committed speedup table, no runs
 //! ```
 //!
 //! Flags:
@@ -14,16 +16,26 @@
 //! * `--json PATH` — measure and write a section into `PATH`, merging
 //!   with the existing file (recording `current` preserves the committed
 //!   `baseline` and `sharded` sections, and so on).
-//! * `--section baseline|current|sharded` — which section `--json`
+//! * `--section baseline|current|queue|sharded` — which section `--json`
 //!   writes. `baseline`/`current` measure the single-lane engine on the
-//!   small grid (n ∈ {4, 8, 16}); `sharded` measures *both* executors on
+//!   small grid (n ∈ {4, 8, 16}); `queue` measures the same grid and
+//!   additionally records the ladder queue's deterministic
+//!   `queue_spill_count` per row; `sharded` measures *both* executors on
 //!   the large grid (n ∈ {64, 128, 256}, lanes = 8), asserting their
 //!   seed-deterministic counts are identical.
 //! * `--check PATH` — CI mode: replay every committed section's scenarios
-//!   and fail if `events_processed` or `messages_delivered` differ. Those
-//!   counts are seed-deterministic, so drift means the engine changed
-//!   behaviour, not just speed. Wall-clock is reported (speedup vs.
-//!   baseline, sharded vs. single-lane) but never gated.
+//!   and fail if `events_processed`, `messages_delivered`, or (for the
+//!   `queue` section) `spill_count` differ. Those counts are
+//!   seed-deterministic, so drift means the engine changed behaviour, not
+//!   just speed. The smallest committed sharded row is additionally
+//!   replayed with the persistent worker pool forced on, gating
+//!   pool-vs-committed count drift even on single-CPU runners.
+//!   Wall-clock is reported (speedup vs. baseline, sharded vs.
+//!   single-lane) but never gated.
+//! * `--compare PATH` — print the committed `baseline → current → queue`
+//!   wall-clock speedup table (plus the sharded rows) from the file
+//!   alone, measuring nothing: the before/after numbers for a PR
+//!   description without hand math.
 //! * `--max-n N` — bound the sizes measured or checked (rows above `N`
 //!   are skipped with a note); keeps the CI bench-smoke job fast by
 //!   checking the sharded section at n = 64 only.
@@ -33,8 +45,9 @@
 use std::process::ExitCode;
 
 use crusader_bench::snapshot::{
-    from_json, measure_cps, measure_cps_sharded, to_json, CpsSnapshot, ShardedRow,
-    ShardedSection, SnapshotRow, SnapshotSection, CPS_SNAPSHOT_PULSES,
+    from_json, measure_cps, measure_cps_queue, measure_cps_sharded, plain_row,
+    replay_sharded_pool, to_json, CpsSnapshot, QueueRow, QueueSection, ShardedRow, ShardedSection,
+    SnapshotRow, SnapshotSection, CPS_SNAPSHOT_PULSES,
 };
 
 const DEFAULT_REPS: usize = 7;
@@ -42,6 +55,7 @@ const DEFAULT_REPS: usize = 7;
 struct Args {
     json: Option<String>,
     check: Option<String>,
+    compare: Option<String>,
     section: String,
     label: Option<String>,
     reps: usize,
@@ -52,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         json: None,
         check: None,
+        compare: None,
         section: "current".to_owned(),
         label: None,
         reps: DEFAULT_REPS,
@@ -63,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--json" => args.json = Some(value("--json")?),
             "--check" => args.check = Some(value("--check")?),
+            "--compare" => args.compare = Some(value("--compare")?),
             "--section" => args.section = value("--section")?,
             "--label" => args.label = Some(value("--label")?),
             "--reps" => {
@@ -80,14 +96,19 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    if !matches!(args.section.as_str(), "baseline" | "current" | "sharded") {
+    if !matches!(
+        args.section.as_str(),
+        "baseline" | "current" | "queue" | "sharded"
+    ) {
         return Err(format!(
-            "--section must be 'baseline', 'current' or 'sharded', got {:?}",
+            "--section must be 'baseline', 'current', 'queue' or 'sharded', got {:?}",
             args.section
         ));
     }
-    if args.json.is_some() && args.check.is_some() {
-        return Err("--json and --check are mutually exclusive".to_owned());
+    let modes =
+        usize::from(args.json.is_some()) + usize::from(args.check.is_some()) + usize::from(args.compare.is_some());
+    if modes > 1 {
+        return Err("--json, --check and --compare are mutually exclusive".to_owned());
     }
     Ok(args)
 }
@@ -98,6 +119,16 @@ fn print_rows(rows: &[SnapshotRow]) {
         println!(
             "| {} | {:.3} | {} | {} |",
             r.n, r.wall_clock_us, r.events_processed, r.messages_delivered
+        );
+    }
+}
+
+fn print_queue_rows(rows: &[QueueRow]) {
+    crusader_bench::header(&["n", "wall_clock_us", "events", "messages", "spill"]);
+    for r in rows {
+        println!(
+            "| {} | {:.3} | {} | {} | {} |",
+            r.n, r.wall_clock_us, r.events_processed, r.messages_delivered, r.spill_count
         );
     }
 }
@@ -164,6 +195,16 @@ fn record(args: &Args, path: &str) -> ExitCode {
                 .unwrap_or_else(|| "sharded engine vs single-lane".to_owned()),
             rows,
         });
+    } else if args.section == "queue" {
+        let rows = measure_cps_queue(args.reps);
+        print_queue_rows(&rows);
+        snap.queue = Some(QueueSection {
+            label: args
+                .label
+                .clone()
+                .unwrap_or_else(|| "ladder-queue engine".to_owned()),
+            rows,
+        });
     } else {
         let rows = measure_cps(args.reps);
         print_rows(&rows);
@@ -198,7 +239,10 @@ fn check(args: &Args, path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let measured = measure_cps(args.reps);
+    // One measurement of the small-n grid serves the baseline/current
+    // count checks and the queue section's count + spill gate.
+    let measured_queue = measure_cps_queue(args.reps);
+    let measured: Vec<SnapshotRow> = measured_queue.iter().cloned().map(plain_row).collect();
     print_rows(&measured);
     let mut drift = false;
     for (name, section) in [("baseline", &snap.baseline), ("current", &snap.current)] {
@@ -231,12 +275,79 @@ fn check(args: &Args, path: &str) -> ExitCode {
             }
         }
     }
+    if let Some(queue) = &snap.queue {
+        // Same measurement as above; the queue rows additionally gate
+        // the ladder queue's deterministic spill count.
+        for committed in &queue.rows {
+            if args.max_n.is_some_and(|cap| committed.n > cap) {
+                println!("skipping queue n={} (over --max-n)", committed.n);
+                continue;
+            }
+            let Some(now) = measured_queue.iter().find(|r| r.n == committed.n) else {
+                eprintln!(
+                    "DRIFT: committed queue has n={} but the harness no longer measures it",
+                    committed.n
+                );
+                drift = true;
+                continue;
+            };
+            if (now.events_processed, now.messages_delivered, now.spill_count)
+                != (
+                    committed.events_processed,
+                    committed.messages_delivered,
+                    committed.spill_count,
+                )
+            {
+                eprintln!(
+                    "DRIFT: n={} queue committed events/messages/spill {}/{}/{} but this \
+                     engine produces {}/{}/{}",
+                    committed.n,
+                    committed.events_processed,
+                    committed.messages_delivered,
+                    committed.spill_count,
+                    now.events_processed,
+                    now.messages_delivered,
+                    now.spill_count
+                );
+                drift = true;
+            }
+        }
+    }
     if let Some(sharded) = &snap.sharded {
         // Replaying a sharded row runs both executors and asserts their
         // counts identical (measure_cps_sharded panics on cross-engine
         // drift), then the counts are compared against the committed row.
         let measured_sharded = measure_cps_sharded(args.reps, args.max_n);
         print_sharded_rows(&measured_sharded);
+        // The smallest in-bounds sharded row is additionally replayed
+        // with the persistent worker pool forced on: the pool is pure
+        // scheduling, so its counts must equal the committed ones at the
+        // same seed, even on a runner with one CPU (where the pool would
+        // otherwise never engage).
+        if let Some(committed) = sharded
+            .rows
+            .iter()
+            .filter(|r| !args.max_n.is_some_and(|cap| r.n > cap))
+            .min_by_key(|r| r.n)
+        {
+            let (events, messages) = replay_sharded_pool(committed.n);
+            println!(
+                "worker-pool replay at n={}: events {events}, messages {messages}",
+                committed.n
+            );
+            if (events, messages) != (committed.events_processed, committed.messages_delivered) {
+                eprintln!(
+                    "DRIFT: n={} worker-pool replay produced events/messages {}/{} but the \
+                     committed sharded row has {}/{}",
+                    committed.n,
+                    events,
+                    messages,
+                    committed.events_processed,
+                    committed.messages_delivered
+                );
+                drift = true;
+            }
+        }
         for committed in &sharded.rows {
             if args.max_n.is_some_and(|cap| committed.n > cap) {
                 println!("skipping sharded n={} (over --max-n)", committed.n);
@@ -284,7 +395,7 @@ fn check(args: &Args, path: &str) -> ExitCode {
         eprintln!(
             "(if the change is intentional, re-record every committed section: \
              --json {path} --section baseline, then --section current, then \
-             --section sharded)"
+             --section queue, then --section sharded)"
         );
         ExitCode::FAILURE
     } else {
@@ -293,29 +404,98 @@ fn check(args: &Args, path: &str) -> ExitCode {
     }
 }
 
+/// Prints the committed speedup history from the file alone — no
+/// measurement, so the numbers are exactly the ones reviewers can diff.
+fn compare(path: &str) -> ExitCode {
+    let snap = match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| from_json(&t))
+    {
+        Ok(snap) => snap,
+        Err(e) => {
+            eprintln!("error: cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall = |rows: &Option<SnapshotSection>, n: usize| -> Option<f64> {
+        rows.as_ref()?.rows.iter().find(|r| r.n == n).map(|r| r.wall_clock_us)
+    };
+    let queue_wall = |n: usize| -> Option<f64> {
+        snap.queue
+            .as_ref()?
+            .rows
+            .iter()
+            .find(|r| r.n == n)
+            .map(|r| r.wall_clock_us)
+    };
+    let fmt_us = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |v| format!("{v:.1}"));
+    let fmt_x = |a: Option<f64>, b: Option<f64>| match (a, b) {
+        (Some(a), Some(b)) if b > 0.0 => format!("{:.2}x", a / b),
+        _ => "-".to_owned(),
+    };
+    println!("committed wall-clock history of {path} (µs, best-of-reps):\n");
+    crusader_bench::header(&[
+        "n",
+        "baseline",
+        "current",
+        "queue",
+        "base→cur",
+        "cur→queue",
+        "base→queue",
+    ]);
+    let mut ns: Vec<usize> = [&snap.baseline, &snap.current]
+        .into_iter()
+        .flatten()
+        .flat_map(|s| s.rows.iter().map(|r| r.n))
+        .chain(snap.queue.iter().flat_map(|s| s.rows.iter().map(|r| r.n)))
+        .collect();
+    ns.sort_unstable();
+    ns.dedup();
+    for n in ns {
+        let (b, c, q) = (wall(&snap.baseline, n), wall(&snap.current, n), queue_wall(n));
+        println!(
+            "| {n} | {} | {} | {} | {} | {} | {} |",
+            fmt_us(b),
+            fmt_us(c),
+            fmt_us(q),
+            fmt_x(b, c),
+            fmt_x(c, q),
+            fmt_x(b, q),
+        );
+    }
+    if let Some(sharded) = &snap.sharded {
+        println!("\ncommitted sharded rows ({}):\n", sharded.label);
+        print_sharded_rows(&sharded.rows);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: perf_snapshot [--json PATH [--section baseline|current|sharded] \
-                 [--label TEXT]] [--check PATH] [--reps N] [--max-n N]"
+                "usage: perf_snapshot [--json PATH [--section baseline|current|queue|sharded] \
+                 [--label TEXT]] [--check PATH] [--compare PATH] [--reps N] [--max-n N]"
             );
             return ExitCode::FAILURE;
         }
     };
-    match (args.json.clone(), args.check.clone()) {
-        (Some(path), None) => record(&args, &path),
-        (None, Some(path)) => check(&args, &path),
-        (None, None) => {
+    match (args.json.clone(), args.check.clone(), args.compare.clone()) {
+        (Some(path), None, None) => record(&args, &path),
+        (None, Some(path), None) => check(&args, &path),
+        (None, None, Some(path)) => compare(&path),
+        (None, None, None) => {
             if args.section == "sharded" {
                 print_sharded_rows(&measure_cps_sharded(args.reps, args.max_n));
+            } else if args.section == "queue" {
+                print_queue_rows(&measure_cps_queue(args.reps));
             } else {
                 print_rows(&measure_cps(args.reps));
             }
             ExitCode::SUCCESS
         }
-        (Some(_), Some(_)) => unreachable!("rejected in parse_args"),
+        _ => unreachable!("rejected in parse_args"),
     }
 }

@@ -1,43 +1,86 @@
 //! Runs every experiment binary in sequence, emitting one consolidated
 //! reproduction report. Each experiment also asserts its own
 //! invariants, so a clean exit is itself a reproduction result.
+//!
+//! Accepts the shared `--n`/`--lanes` overrides and forwards each flag
+//! only to the binaries that support it: the synchronous/sampled
+//! experiments (`e5`, `e6`, `a2`) take `--n` but have no event lanes,
+//! and the Theorem 5 tri-execution (`e7`) is fixed at n = 3 — those run
+//! at their defaults rather than failing the whole report.
 
 use std::process::Command;
 
+use crusader_bench::cli::SimArgs;
+
+/// One experiment binary plus which shared flags it can honour.
+struct Experiment {
+    name: &'static str,
+    takes_n: bool,
+    takes_lanes: bool,
+}
+
+const fn exp(name: &'static str, takes_n: bool, takes_lanes: bool) -> Experiment {
+    Experiment {
+        name,
+        takes_n,
+        takes_lanes,
+    }
+}
+
 fn main() {
+    let args = SimArgs::parse_or_exit();
     let experiments = [
-        "e1_skew_vs_u",
-        "e2_skew_vs_theta",
-        "e3_resilience",
-        "e4_periods",
-        "e5_apa",
-        "e6_tcb",
-        "e7_lower_bound",
-        "e8_baselines",
-        "e9_rushing",
-        "a1_ablation_no_reject",
-        "a2_ablation_midpoint",
+        exp("e1_skew_vs_u", true, true),
+        exp("e2_skew_vs_theta", true, true),
+        exp("e3_resilience", true, true),
+        exp("e4_periods", true, true),
+        exp("e5_apa", true, false),
+        exp("e6_tcb", true, false),
+        exp("e7_lower_bound", false, false),
+        exp("e8_baselines", true, true),
+        exp("e9_rushing", true, true),
+        exp("a1_ablation_no_reject", true, true),
+        exp("a2_ablation_midpoint", true, false),
     ];
     let mut failures = 0;
-    for exp in experiments {
+    for e in &experiments {
         println!("\n{}\n", "=".repeat(78));
+        let mut forwarded: Vec<String> = Vec::new();
+        if let Some(n) = args.n {
+            if e.takes_n {
+                forwarded.extend(["--n".to_owned(), n.to_string()]);
+            } else {
+                println!("({}: --n not supported, running at its default)", e.name);
+            }
+        }
+        if let Some(lanes) = args.lanes {
+            if e.takes_lanes {
+                forwarded.extend(["--lanes".to_owned(), lanes.to_string()]);
+            } else {
+                println!("({}: --lanes not supported, running single-lane)", e.name);
+            }
+        }
         // Prefer the sibling binary when it has been built; fall back to
         // `cargo run` so `cargo run --bin run_all` works on a fresh
         // clone where only run_all itself was compiled.
         let sibling = std::env::current_exe()
             .ok()
             .and_then(|exe| {
-                Some(exe.parent()?.join(format!("{exp}{}", std::env::consts::EXE_SUFFIX)))
+                Some(exe.parent()?.join(format!("{}{}", e.name, std::env::consts::EXE_SUFFIX)))
             })
             .filter(|path| path.is_file());
         let status = match sibling {
-            Some(path) => Command::new(path).status(),
+            Some(path) => Command::new(path).args(&forwarded).status(),
             None => {
                 let cargo = std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into());
                 let mut cmd = Command::new(cargo);
-                cmd.args(["run", "-q", "-p", "crusader_bench", "--bin", exp]);
+                cmd.args(["run", "-q", "-p", "crusader_bench", "--bin", e.name]);
                 if !cfg!(debug_assertions) {
                     cmd.arg("--release");
+                }
+                if !forwarded.is_empty() {
+                    cmd.arg("--");
+                    cmd.args(&forwarded);
                 }
                 cmd.status()
             }
@@ -45,14 +88,17 @@ fn main() {
         match status {
             Ok(s) if s.success() => {}
             other => {
-                eprintln!("!! experiment {exp} failed: {other:?}");
+                eprintln!("!! experiment {} failed: {other:?}", e.name);
                 failures += 1;
             }
         }
     }
     println!("\n{}\n", "=".repeat(78));
     if failures == 0 {
-        println!("all {} experiments reproduced their expected shapes ✓", experiments.len());
+        println!(
+            "all {} experiments reproduced their expected shapes ✓",
+            experiments.len()
+        );
     } else {
         eprintln!("{failures} experiment(s) failed");
         std::process::exit(1);

@@ -16,6 +16,18 @@
 //! * `--lanes L` — run the scenario on the sharded executor with `L`
 //!   event lanes (`1`, the default, keeps the single-lane reference
 //!   engine). Traces are identical either way; only wall-clock changes.
+//!
+//! Every experiment binary parses these flags, but not every experiment
+//! can honour both: the synchronous-round executor (`e5`), the sampled
+//! TCB state machine (`e6`), the Theorem 5 tri-execution (`e7`), and the
+//! vector-sampling ablation (`a2`) have no event lanes, and `e7` is a
+//! 3-node construction by definition. Those binaries *reject* the
+//! inapplicable flag with a clear message ([`SimArgs::reject_lanes`],
+//! [`SimArgs::require_n`]) instead of silently ignoring it, and validate
+//! `--n` against the structural fault budget
+//! ([`SimArgs::resolve_n_structural`]) where no link/clock parameters
+//! exist to derive Theorem 17 feasibility from. `run_all` forwards each
+//! flag only to the binaries that support it.
 
 use crusader_core::{max_faults_with_signatures, Params};
 use crusader_time::Dur;
@@ -100,5 +112,47 @@ impl SimArgs {
     #[must_use]
     pub fn lanes(&self) -> usize {
         self.lanes.unwrap_or(1)
+    }
+
+    /// Resolves `--n` against the *structural* maximum-resilience check
+    /// only: `f = ⌈n/2⌉ − 1 ≥ 1`, i.e. `n ≥ 3`, so the adversarial
+    /// construction has at least one faulty node to work with. For
+    /// experiments with no link/clock parameters (the synchronous APA
+    /// executor, the vector-sampling ablation) where Theorem 17
+    /// feasibility is not defined. Exits with a diagnostic otherwise —
+    /// nothing is silently clamped.
+    #[must_use]
+    pub fn resolve_n_structural(&self, default_n: usize) -> usize {
+        let n = self.n.unwrap_or(default_n);
+        let f = max_faults_with_signatures(n);
+        if f == 0 {
+            eprintln!(
+                "error: n={n} implies f=⌈n/2⌉−1=0 — this experiment's adversarial \
+                 construction needs at least one faulty node; use n ≥ 3"
+            );
+            std::process::exit(2);
+        }
+        n
+    }
+
+    /// For experiments whose construction fixes `n` (the Theorem 5
+    /// tri-execution): accept `--n required`, reject anything else with
+    /// `why` in the diagnostic.
+    pub fn require_n(&self, required: usize, why: &str) {
+        if let Some(n) = self.n {
+            if n != required {
+                eprintln!("error: --n {n} is not supported: {why} (only n = {required})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// For experiments that never run the event-lane simulator: reject an
+    /// explicit `--lanes` with `why` instead of silently ignoring it.
+    pub fn reject_lanes(&self, why: &str) {
+        if self.lanes.is_some() {
+            eprintln!("error: --lanes is not supported by this experiment: {why}");
+            std::process::exit(2);
+        }
     }
 }

@@ -76,6 +76,14 @@ pub struct Scenario {
     /// larger the sharded executor ([`crusader_sim::ShardedSim`]), which
     /// produces the identical trace (clamped to `n` by the engine).
     pub lanes: usize,
+    /// Overrides the sharded executor's use-worker-threads decision
+    /// (`Some(true)` forces the persistent worker pool even on a
+    /// single-CPU host, `Some(false)` forces inline lanes, `None` keeps
+    /// the automatic choice). Ignored when `lanes == 1`. Used by the CI
+    /// bench-smoke replay and the determinism tests to exercise the
+    /// cross-thread hand-off on any machine; traces are identical either
+    /// way.
+    pub force_parallel: Option<bool>,
 }
 
 impl Scenario {
@@ -96,6 +104,7 @@ impl Scenario {
             pulses: 12,
             seed: 0xC0FFEE,
             lanes: 1,
+            force_parallel: None,
         }
     }
 
@@ -174,14 +183,19 @@ impl Scenario {
         let sim = self
             .builder(derived.s)
             .build(|me| CpsNode::new(me, params, derived), adversary);
-        (Self::execute(sim, self.lanes), derived)
+        (self.execute(sim), derived)
     }
 
     /// Runs a built simulation on the executor `lanes` selects: the
-    /// single-lane reference engine at 1, the sharded executor above.
-    fn execute<A: Automaton>(sim: crusader_sim::Sim<A>, lanes: usize) -> Trace {
-        if lanes > 1 {
-            sim.sharded(lanes).run()
+    /// single-lane reference engine at 1, the sharded executor above
+    /// (with `force_parallel` applied to its worker-pool decision).
+    fn execute<A: Automaton>(&self, sim: crusader_sim::Sim<A>) -> Trace {
+        if self.lanes > 1 {
+            let mut sharded = sim.sharded(self.lanes);
+            if let Some(parallel) = self.force_parallel {
+                sharded.set_parallel(parallel);
+            }
+            sharded.run()
         } else {
             sim.run()
         }
@@ -199,7 +213,7 @@ impl Scenario {
         F: FnMut(NodeId) -> A,
     {
         let sim = self.builder(max_offset).build(make_node, adversary);
-        let trace = Self::execute(sim, self.lanes);
+        let trace = self.execute(sim);
         let stats = pulse_stats(&trace, &self.honest());
         Measurement::from_stats(&stats, &trace)
     }
@@ -210,9 +224,9 @@ impl Scenario {
 /// hash), the violation list, forgery/message/event counts, and the
 /// finishing time. Used by the determinism regression test to pin exact
 /// engine behaviour and by the sharded cross-check proptests to compare
-/// executors; `timer_slots_high_water` is deliberately excluded (the
-/// sharded engine reports a per-lane upper bound, see
-/// [`crusader_sim::shard`]).
+/// executors; `timer_slots_high_water` and `queue_spill_count` are
+/// deliberately excluded (the sharded engine reports per-lane aggregates
+/// of both, see [`crusader_sim::shard`]).
 #[must_use]
 pub fn trace_hash(trace: &Trace) -> u64 {
     struct Fnv(u64);

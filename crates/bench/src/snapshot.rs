@@ -9,6 +9,12 @@
 //!   (`perf_snapshot --json BENCH_cps.json --section baseline`);
 //! * the `current` section is refreshed afterwards
 //!   (`... --section current`), making the speedup a diffable fact;
+//! * the `queue` section (`... --section queue`, schema v3) re-measures
+//!   the same small-`n` grid on the ladder-queue engine, additionally
+//!   recording [`Trace::queue_spill_count`] per row (zero for these
+//!   scenarios, and gated) — `baseline → current → queue` is the engine's
+//!   committed perf history, printable as a speedup table with
+//!   `perf_snapshot --compare`;
 //! * the `sharded` section (`... --section sharded`) covers the large-`n`
 //!   regime (n ∈ {64, 128, 256}): each row runs the *same* seeded
 //!   scenario through both the single-lane and the sharded executor,
@@ -18,7 +24,12 @@
 //!   `messages_delivered` drift from the committed counts
 //!   (`perf_snapshot --check BENCH_cps.json`, optionally bounded by
 //!   `--max-n`) — wall-clock is reported but never gated, since runners
-//!   vary.
+//!   vary. The check also replays the smallest committed sharded row with
+//!   the persistent worker pool forced on
+//!   ([`Scenario::force_parallel`](crate::Scenario)), gating
+//!   pool-vs-single count drift even on single-CPU runners.
+//!
+//! [`Trace::queue_spill_count`]: crusader_sim::Trace::queue_spill_count
 //!
 //! The vendored `serde` stand-in has no data-format backend
 //! (vendor/README.md), so the JSON codec here is hand-rolled: a writer for
@@ -48,8 +59,9 @@ pub const CPS_SHARDED_LANES: usize = 8;
 pub const CPS_SNAPSHOT_PULSES: u64 = 8;
 
 /// Schema tag written into the file, bumped on layout changes (v2 added
-/// the `sharded` section).
-pub const SCHEMA: &str = "crusader-bench-cps/v2";
+/// the `sharded` section; v3 the `queue` section with per-row
+/// `spill_count`).
+pub const SCHEMA: &str = "crusader-bench-cps/v3";
 
 /// One measured row: a full `run_cps` at system size `n`.
 #[derive(Clone, Debug, PartialEq)]
@@ -101,6 +113,33 @@ pub struct ShardedSection {
     pub rows: Vec<ShardedRow>,
 }
 
+/// One measured row of the `queue` section: the small-`n` grid on the
+/// ladder-queue engine, with the spill-heap diagnostic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueRow {
+    /// System size.
+    pub n: usize,
+    /// Best-of-reps wall clock for one full run, in microseconds.
+    pub wall_clock_us: f64,
+    /// Events processed (deterministic per seed).
+    pub events_processed: u64,
+    /// Messages delivered (deterministic per seed).
+    pub messages_delivered: u64,
+    /// Ladder-queue spill-heap overflows
+    /// ([`crusader_sim::Trace::queue_spill_count`]); deterministic per
+    /// seed, expected 0 for these scenarios, and gated by `--check`.
+    pub spill_count: u64,
+}
+
+/// The `queue` section: the ladder-queue engine's committed numbers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueSection {
+    /// Human-readable provenance.
+    pub label: String,
+    /// One row per measured system size.
+    pub rows: Vec<QueueRow>,
+}
+
 /// The whole `BENCH_cps.json` document.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct CpsSnapshot {
@@ -108,8 +147,10 @@ pub struct CpsSnapshot {
     pub pulses: u64,
     /// The committed pre-optimization numbers.
     pub baseline: Option<SnapshotSection>,
-    /// The numbers for the checked-out engine.
+    /// The numbers for the slab-heap engine (PR 2 state; history).
     pub current: Option<SnapshotSection>,
+    /// The ladder-queue engine's numbers plus spill diagnostics.
+    pub queue: Option<QueueSection>,
     /// Large-`n` sharded-vs-single comparison rows.
     pub sharded: Option<ShardedSection>,
 }
@@ -126,6 +167,10 @@ pub fn cps_scenario(n: usize) -> Scenario {
 /// Measures every size in [`CPS_SNAPSHOT_NS`]: `reps` timed runs per size
 /// (after one warm-up), keeping the minimum wall clock.
 ///
+/// A [`QueueRow`] is a strict superset of a [`SnapshotRow`], so this is
+/// [`measure_cps_queue`] with the spill column dropped — one measurement
+/// loop serves every small-`n` section.
+///
 /// # Panics
 ///
 /// Panics if repeated runs disagree on event/message counts — that would
@@ -133,6 +178,29 @@ pub fn cps_scenario(n: usize) -> Scenario {
 /// over.
 #[must_use]
 pub fn measure_cps(reps: usize) -> Vec<SnapshotRow> {
+    measure_cps_queue(reps).into_iter().map(plain_row).collect()
+}
+
+/// Projects a measured [`QueueRow`] onto the v1 [`SnapshotRow`] shape.
+#[must_use]
+pub fn plain_row(row: QueueRow) -> SnapshotRow {
+    SnapshotRow {
+        n: row.n,
+        wall_clock_us: row.wall_clock_us,
+        events_processed: row.events_processed,
+        messages_delivered: row.messages_delivered,
+    }
+}
+
+/// Measures every size in [`CPS_SNAPSHOT_NS`] for the `queue` section:
+/// wall clock plus the deterministic counts *and* the ladder queue's
+/// spill diagnostic.
+///
+/// # Panics
+///
+/// Panics if repeated runs disagree on event/message/spill counts.
+#[must_use]
+pub fn measure_cps_queue(reps: usize) -> Vec<QueueRow> {
     CPS_SNAPSHOT_NS
         .iter()
         .map(|&n| {
@@ -145,19 +213,46 @@ pub fn measure_cps(reps: usize) -> Vec<SnapshotRow> {
                 let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
                 best_us = best_us.min(elapsed_us);
                 assert_eq!(
-                    (trace.events_processed, trace.messages_delivered),
-                    (reference.events_processed, reference.messages_delivered),
+                    (
+                        trace.events_processed,
+                        trace.messages_delivered,
+                        trace.queue_spill_count
+                    ),
+                    (
+                        reference.events_processed,
+                        reference.messages_delivered,
+                        reference.queue_spill_count
+                    ),
                     "non-deterministic run at n={n}"
                 );
             }
-            SnapshotRow {
+            QueueRow {
                 n,
                 wall_clock_us: best_us,
                 events_processed: reference.events_processed,
                 messages_delivered: reference.messages_delivered,
+                spill_count: reference.queue_spill_count,
             }
         })
         .collect()
+}
+
+/// Replays the sharded scenario at size `n` with the persistent worker
+/// pool forced on ([`Scenario::force_parallel`](crate::Scenario)) and
+/// returns its `(events_processed, messages_delivered)`.
+///
+/// The CI bench-smoke job compares these against the committed sharded
+/// row: the pool is a scheduling change, so any count drift versus the
+/// single-lane engine at the same seed is a correctness failure, and
+/// forcing the pool makes the check meaningful on single-CPU runners
+/// where it would otherwise never engage.
+#[must_use]
+pub fn replay_sharded_pool(n: usize) -> (u64, u64) {
+    let mut s = cps_scenario(n);
+    s.lanes = CPS_SHARDED_LANES;
+    s.force_parallel = Some(true);
+    let (trace, _) = s.run_cps_trace(Box::new(SilentAdversary));
+    (trace.events_processed, trace.messages_delivered)
 }
 
 /// Measures every size in [`CPS_SHARDED_NS`] at or below `max_n` with
@@ -245,11 +340,33 @@ pub fn to_json(snap: &CpsSnapshot) -> String {
             out.push_str(if j + 1 < section.rows.len() { ",\n" } else { "\n" });
         }
         out.push_str("    ]\n");
-        out.push_str(if i + 1 < sections.len() || snap.sharded.is_some() {
-            "  },\n"
-        } else {
-            "  }\n"
-        });
+        out.push_str(
+            if i + 1 < sections.len() || snap.queue.is_some() || snap.sharded.is_some() {
+                "  },\n"
+            } else {
+                "  }\n"
+            },
+        );
+    }
+    if let Some(queue) = &snap.queue {
+        out.push_str("  \"queue\": {\n");
+        let _ = writeln!(out, "    \"label\": \"{}\",", escape(&queue.label));
+        out.push_str("    \"rows\": [\n");
+        for (j, row) in queue.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "      {{\"n\": {}, \"wall_clock_us\": {:.3}, \"events_processed\": {}, \
+                 \"messages_delivered\": {}, \"spill_count\": {}}}",
+                row.n,
+                row.wall_clock_us,
+                row.events_processed,
+                row.messages_delivered,
+                row.spill_count
+            );
+            out.push_str(if j + 1 < queue.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("    ]\n");
+        out.push_str(if snap.sharded.is_some() { "  },\n" } else { "  }\n" });
     }
     if let Some(sharded) = &snap.sharded {
         out.push_str("  \"sharded\": {\n");
@@ -315,6 +432,27 @@ pub fn from_json(text: &str) -> Result<CpsSnapshot, String> {
             })
             .collect::<Result<Vec<_>, String>>()?;
         *slot = Some(SnapshotSection {
+            label: get(section, "label")?.as_str()?.to_owned(),
+            rows,
+        });
+    }
+    if let Some((_, section)) = top.iter().find(|(k, _)| k == "queue") {
+        let section = section.as_object()?;
+        let rows = get(section, "rows")?
+            .as_array()?
+            .iter()
+            .map(|row| {
+                let row = row.as_object()?;
+                Ok(QueueRow {
+                    n: usize::try_from(get(row, "n")?.as_u64()?).map_err(|e| e.to_string())?,
+                    wall_clock_us: get(row, "wall_clock_us")?.as_f64()?,
+                    events_processed: get(row, "events_processed")?.as_u64()?,
+                    messages_delivered: get(row, "messages_delivered")?.as_u64()?,
+                    spill_count: get(row, "spill_count")?.as_u64()?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        snap.queue = Some(QueueSection {
             label: get(section, "label")?.as_str()?.to_owned(),
             rows,
         });
@@ -577,6 +715,7 @@ mod tests {
                 }],
             }),
             current: None,
+            queue: None,
             sharded: None,
         }
     }
@@ -587,6 +726,50 @@ mod tests {
         let text = to_json(&snap);
         let back = from_json(&text).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn json_roundtrip_with_queue_section() {
+        let mut snap = sample();
+        snap.queue = Some(QueueSection {
+            label: "ladder-queue engine".to_owned(),
+            rows: vec![QueueRow {
+                n: 16,
+                wall_clock_us: 834.145,
+                events_processed: 10845,
+                messages_delivered: 10080,
+                spill_count: 0,
+            }],
+        });
+        assert_eq!(from_json(&to_json(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn json_roundtrip_with_all_sections() {
+        let mut snap = sample();
+        snap.current = snap.baseline.clone();
+        snap.queue = Some(QueueSection {
+            label: "q".to_owned(),
+            rows: vec![QueueRow {
+                n: 4,
+                wall_clock_us: 1.0,
+                events_processed: 2,
+                messages_delivered: 3,
+                spill_count: 4,
+            }],
+        });
+        snap.sharded = Some(ShardedSection {
+            label: "s".to_owned(),
+            rows: vec![ShardedRow {
+                n: 64,
+                lanes: 8,
+                wall_clock_single_us: 1.0,
+                wall_clock_sharded_us: 2.0,
+                events_processed: 5,
+                messages_delivered: 6,
+            }],
+        });
+        assert_eq!(from_json(&to_json(&snap)).unwrap(), snap);
     }
 
     #[test]

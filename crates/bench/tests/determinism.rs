@@ -53,6 +53,55 @@ fn sharded_engine_reproduces_pinned_hashes() {
     }
 }
 
+/// The persistent worker pool — forced on, so this holds even on a
+/// single-CPU host where it would never engage by itself — must also
+/// reproduce the pinned hashes at every lane count. Together with
+/// `sharded_engine_reproduces_pinned_hashes` this pins both sharded
+/// scheduling modes to the pre-sharding engine's observable behaviour.
+#[test]
+fn worker_pool_reproduces_pinned_hashes() {
+    for &(n, expected) in PINNED {
+        for lanes in [2, 8] {
+            let mut scenario = cps_scenario(n);
+            scenario.lanes = lanes;
+            scenario.force_parallel = Some(true);
+            let (trace, _) = scenario.run_cps_trace(Box::new(SilentAdversary));
+            let got = trace_hash(&trace);
+            assert_eq!(
+                got, expected,
+                "n={n} lanes={lanes}: worker-pool trace hash {got:#018x} != pinned {expected:#018x}"
+            );
+        }
+    }
+}
+
+/// The ladder event queue's spill heap exists for pathological far-future
+/// timers; the standard CPS scenarios must never touch it (every CPS
+/// timer fires within `T + 3S < 13 d`, well inside the queue's ~16 `d`
+/// bucketed horizon). A nonzero count here means the ladder's sizing
+/// regressed and the queue is quietly degrading toward heap behaviour.
+#[test]
+fn standard_cps_scenarios_never_spill() {
+    for &(n, _) in PINNED {
+        let (trace, _) = cps_scenario(n).run_cps_trace(Box::new(SilentAdversary));
+        assert_eq!(
+            trace.queue_spill_count, 0,
+            "n={n}: {} events overflowed the ladder queue's horizon",
+            trace.queue_spill_count
+        );
+        // Same property for the per-lane queues of the sharded executor
+        // (reported as the sum over lanes).
+        let mut sharded = cps_scenario(n);
+        sharded.lanes = 4;
+        let (trace, _) = sharded.run_cps_trace(Box::new(SilentAdversary));
+        assert_eq!(
+            trace.queue_spill_count, 0,
+            "n={n} lanes=4: {} events overflowed a lane queue's horizon",
+            trace.queue_spill_count
+        );
+    }
+}
+
 #[test]
 fn trace_hash_is_stable_across_runs() {
     let run = || {

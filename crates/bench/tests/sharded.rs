@@ -71,6 +71,32 @@ proptest! {
         );
     }
 
+    /// The persistent worker pool, forced on (it would otherwise never
+    /// engage on a single-CPU runner), must also be hash-identical: the
+    /// pool is a scheduling change on top of a scheduling change.
+    #[test]
+    fn prop_worker_pool_trace_matches_single_lane(
+        n in 2usize..10,
+        seed in 0u64..1000,
+        lanes in 2usize..6,
+        u_tilde_mult in 1u8..4,
+        delays in 0u8..4,
+        adv in 0u8..3,
+    ) {
+        let single = scenario(n, seed, u_tilde_mult, delays);
+        let mut pooled = single.clone();
+        pooled.lanes = lanes;
+        pooled.force_parallel = Some(true);
+        let (ts, _) = single.run_cps_trace(adversary(adv));
+        let (tp, _) = pooled.run_cps_trace(adversary(adv));
+        prop_assert_eq!(
+            trace_hash(&ts),
+            trace_hash(&tp),
+            "pooled trace diverged at n={} seed={} lanes={} ũ×{} delays={} adv={}",
+            n, seed, lanes, u_tilde_mult, delays, adv
+        );
+    }
+
     /// The degenerate zero-lookahead regime (ũ = d): windows shrink to
     /// single timestamps; equivalence must survive that too.
     #[test]

@@ -71,7 +71,10 @@ pub mod tcb;
 pub use apa::{iterations_for, ApaMsg, ApaNode};
 pub use cb::{CbNode, CbOutput, SignedValue, Value};
 pub use cps::CpsNode;
-pub use messages::{pulse_sign_bytes, pulse_sign_bytes_cached, Carry};
+pub use messages::{
+    pulse_sign_bytes, pulse_sign_bytes_array, pulse_sign_bytes_cached, Carry,
+    PULSE_SIGN_BYTES_LEN,
+};
 pub use midpoint::{midpoint, select_interval, Interval};
 pub use params::{
     max_faults_with_signatures, max_faults_without_signatures, Derived, ParamError, Params,

@@ -19,11 +19,26 @@ pub const PULSE_DOMAIN: &[u8] = b"crusader/cps/pulse/v1";
 /// goes through [`pulse_sign_bytes_cached`] instead.
 #[must_use]
 pub fn pulse_sign_bytes(round: u64, dealer: NodeId) -> Bytes {
-    let mut buf = Vec::with_capacity(PULSE_DOMAIN.len() + 10);
-    buf.extend_from_slice(PULSE_DOMAIN);
-    buf.extend_from_slice(&round.to_le_bytes());
-    buf.extend_from_slice(&(dealer.index() as u16).to_le_bytes());
-    Bytes::from(buf)
+    Bytes::from(pulse_sign_bytes_array(round, dealer).to_vec())
+}
+
+/// Length of `⟨r⟩_u` sign bytes: the domain tag plus `round` (8 bytes)
+/// plus the dealer index (2 bytes).
+pub const PULSE_SIGN_BYTES_LEN: usize = PULSE_DOMAIN.len() + 10;
+
+/// [`pulse_sign_bytes`] built on the stack — for one-shot consumers
+/// (signature verification checks the bytes and forgets them), where the
+/// thread-local memo's map probe and `Bytes` refcount traffic would cost
+/// more than rebuilding 31 bytes in place.
+#[must_use]
+pub fn pulse_sign_bytes_array(round: u64, dealer: NodeId) -> [u8; PULSE_SIGN_BYTES_LEN] {
+    let mut buf = [0u8; PULSE_SIGN_BYTES_LEN];
+    let d = PULSE_DOMAIN.len();
+    buf[..d].copy_from_slice(PULSE_DOMAIN);
+    buf[d..d + 8].copy_from_slice(&round.to_le_bytes());
+    #[allow(clippy::cast_possible_truncation)]
+    buf[d + 8..].copy_from_slice(&(dealer.index() as u16).to_le_bytes());
+    buf
 }
 
 thread_local! {
@@ -98,7 +113,7 @@ impl Carry {
     pub fn verify(&self, verifier: &dyn crusader_crypto::Verifier) -> bool {
         verifier.verify(
             self.dealer,
-            &pulse_sign_bytes_cached(self.round, self.dealer),
+            &pulse_sign_bytes_array(self.round, self.dealer),
             &self.signature,
         )
     }

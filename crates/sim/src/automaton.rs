@@ -11,8 +11,11 @@ pub use crate::event::TimerId;
 /// world goes through the [`Context`].
 ///
 /// Handlers are invoked sequentially per node; an automaton never needs
-/// interior synchronization.
-pub trait Automaton: Send {
+/// interior synchronization. Automatons own their state outright
+/// (`'static`): the sharded executor's persistent worker pool moves
+/// whole lanes of them onto long-lived threads, and the wall-clock
+/// runtime gives each node its own OS thread.
+pub trait Automaton: Send + 'static {
     /// The protocol's message type.
     ///
     /// Messages are immutable values once sent; `Sync` lets the sharded

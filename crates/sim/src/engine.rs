@@ -221,7 +221,8 @@ impl SimBuilder {
             knowledge: KnowledgeTracker::new(self.faulty),
             nodes,
             adversary,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_delay_hint(self.link.d),
+            broadcasts: BroadcastArena::new(),
             now: Time::ZERO,
             timers: TimerSlab::new(),
             node_effects: Vec::new(),
@@ -234,6 +235,119 @@ impl SimBuilder {
                 max_events: self.max_events,
             },
             rng,
+        }
+    }
+}
+
+/// One pending broadcast in the single-lane engine's arena.
+#[derive(Debug)]
+struct BroadcastSlot<M> {
+    msg: M,
+    /// Deliveries still outstanding; the slot frees when it reaches zero.
+    remaining: u32,
+    /// Whether a faulty delivery has already walked this payload's claims
+    /// (mirrors `SharedPayload::adversary_learned`, without the atomic).
+    learned: bool,
+}
+
+/// Single-threaded broadcast storage for [`Sim::run`].
+///
+/// A broadcast schedules `n` deliveries of one payload. Routing them
+/// through [`Payload::Shared`]'s `Arc` costs two atomic refcount
+/// operations per delivery (clone at push, drop at delivery) — pure waste
+/// on the single-lane engine's one thread, and measurably so: at `n = 16`
+/// the CPS scenario is ~10 000 broadcast deliveries. The engine instead
+/// parks the payload here under a plain integer refcount and ships
+/// [`Payload::Local`] slot indices through the event queue. The sharded
+/// executor keeps the `Arc` path: its payloads genuinely cross lane
+/// threads.
+#[derive(Debug)]
+pub(crate) struct BroadcastArena<M> {
+    slots: Vec<Option<BroadcastSlot<M>>>,
+    free: Vec<u32>,
+}
+
+impl<M> BroadcastArena<M> {
+    fn new() -> Self {
+        BroadcastArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Parks `msg` for `fanout` deliveries and returns its slot index.
+    fn insert(&mut self, msg: M, fanout: u32) -> u32 {
+        debug_assert!(fanout > 0, "broadcast to nobody");
+        let slot = BroadcastSlot {
+            msg,
+            remaining: fanout,
+            learned: false,
+        };
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.slots[id as usize].is_none(), "free slot occupied");
+                self.slots[id as usize] = Some(slot);
+                id
+            }
+            None => {
+                let id = u32::try_from(self.slots.len())
+                    .expect("more than u32::MAX simultaneous broadcasts");
+                self.slots.push(Some(slot));
+                id
+            }
+        }
+    }
+
+    /// Resolves one honest delivery: moves the payload out on the last
+    /// delivery, clones it otherwise.
+    fn take_or_clone(&mut self, id: u32) -> M
+    where
+        M: Clone,
+    {
+        let slot = self.slots[id as usize]
+            .as_mut()
+            .expect("local payload pointing at empty broadcast slot");
+        if slot.remaining > 1 {
+            slot.remaining -= 1;
+            slot.msg.clone()
+        } else {
+            let slot = self.slots[id as usize].take().expect("slot present");
+            self.free.push(id);
+            slot.msg
+        }
+    }
+
+    /// Takes the whole slot out for a faulty delivery (the adversary
+    /// needs `&M` while the engine is re-borrowed); pair with
+    /// [`put_back`](Self::put_back).
+    fn take_slot(&mut self, id: u32) -> BroadcastSlot<M> {
+        self.slots[id as usize]
+            .take()
+            .expect("local payload pointing at empty broadcast slot")
+    }
+
+    /// Returns a slot taken by [`take_slot`](Self::take_slot), consuming
+    /// one delivery.
+    fn put_back(&mut self, id: u32, mut slot: BroadcastSlot<M>) {
+        if slot.remaining > 1 {
+            slot.remaining -= 1;
+            self.slots[id as usize] = Some(slot);
+        } else {
+            self.free.push(id);
+        }
+    }
+
+    /// Releases one delivery without reading the payload (a faulty
+    /// recipient under a passive adversary).
+    fn release(&mut self, id: u32) {
+        let slot = self.slots[id as usize]
+            .as_mut()
+            .expect("local payload pointing at empty broadcast slot");
+        if slot.remaining > 1 {
+            slot.remaining -= 1;
+        } else {
+            self.slots[id as usize] = None;
+            self.free.push(id);
         }
     }
 }
@@ -272,6 +386,11 @@ pub struct Sim<A: Automaton> {
     pub(crate) nodes: Vec<Option<A>>,
     pub(crate) adversary: Box<dyn Adversary<A::Msg>>,
     pub(crate) queue: EventQueue<A::Msg>,
+    /// Non-atomic payload storage for in-flight broadcasts (see
+    /// [`BroadcastArena`]). Single-lane runs only; the sharded executor
+    /// takes ownership of the queue contents before any `Local` payload
+    /// could exist.
+    broadcasts: BroadcastArena<A::Msg>,
     pub(crate) now: Time,
     pub(crate) timers: TimerSlab,
     /// Pooled effect buffer, reused across every `with_node` call so the
@@ -362,6 +481,7 @@ impl<A: Automaton> Sim<A> {
         }
         self.trace.finished_at = self.now;
         self.trace.timer_slots_high_water = self.timers.high_water() as u64;
+        self.trace.queue_spill_count = self.queue.spill_count();
         self.trace
     }
 
@@ -378,10 +498,25 @@ impl<A: Automaton> Sim<A> {
             // A passive adversary never receives an `AdversaryApi`, so the
             // knowledge tracker is unobservable and learning is skipped
             // wholesale. Otherwise the faulty path only ever reads the
-            // message — a shared broadcast payload is delivered without
-            // any clone — and only its first (earliest) faulty delivery
-            // can add knowledge, so later copies skip the claim walk.
-            if !self.adversary_passive {
+            // message — a broadcast payload is delivered without any
+            // clone — and only its first (earliest) faulty delivery can
+            // add knowledge, so later copies skip the claim walk.
+            if self.adversary_passive {
+                if let Payload::Local(id) = msg {
+                    self.broadcasts.release(id);
+                }
+            } else if let Payload::Local(id) = msg {
+                // Lift the slot out so the adversary can borrow the
+                // payload while the engine is re-borrowed mutably.
+                let mut slot = self.broadcasts.take_slot(id);
+                if !slot.learned {
+                    slot.learned = true;
+                    self.knowledge.learn_all(&slot.msg, self.now);
+                }
+                let msg = &slot.msg;
+                self.with_adversary(|adv, api| adv.on_deliver(to, from, msg, api));
+                self.broadcasts.put_back(id, slot);
+            } else {
                 if msg.needs_learning() {
                     self.knowledge.learn_all(msg.as_ref(), self.now);
                 }
@@ -389,7 +524,10 @@ impl<A: Automaton> Sim<A> {
                 self.with_adversary(|adv, api| adv.on_deliver(to, from, msg, api));
             }
         } else {
-            let msg = msg.into_owned();
+            let msg = match msg {
+                Payload::Local(id) => self.broadcasts.take_or_clone(id),
+                msg => msg.into_owned(),
+            };
             self.with_node(to, |node, ctx| node.on_message(from, msg, ctx));
         }
     }
@@ -431,26 +569,36 @@ impl<A: Automaton> Sim<A> {
             };
             f(node, &mut ctx);
         }
-        self.apply_node_effects(v, &mut effects);
+        self.apply_node_effects(v, now_local, &mut effects);
         effects.clear();
         self.node_effects = effects;
     }
 
-    fn apply_node_effects(&mut self, v: NodeId, effects: &mut Vec<Effect<A::Msg>>) {
+    fn apply_node_effects(
+        &mut self,
+        v: NodeId,
+        now_local: LocalTime,
+        effects: &mut Vec<Effect<A::Msg>>,
+    ) {
         for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, msg } => {
                     self.schedule_honest_send(v, to, Payload::Owned(msg));
                 }
                 Effect::Broadcast { msg } => {
-                    let shared = Payload::shared(msg);
+                    // One arena slot for all `n` deliveries: plain-integer
+                    // refcounting instead of `n` atomic `Arc` clone/drop
+                    // pairs (see [`BroadcastArena`]).
+                    let id = self.broadcasts.insert(msg, u32::try_from(self.n).expect("n fits u32"));
                     for to in NodeId::all(self.n) {
-                        self.schedule_honest_send(v, to, shared.clone());
+                        self.schedule_honest_send(v, to, Payload::Local(id));
                     }
                 }
                 Effect::SetTimer { id, at } => {
-                    let local_now = self.clocks[v.index()].read(self.now);
-                    let fire_at = if at <= local_now {
+                    // `now_local` is the handler's clock reading at the
+                    // same real instant, so the in-the-past clamp needs no
+                    // second clock evaluation.
+                    let fire_at = if at <= now_local {
                         self.now
                     } else {
                         self.clocks[v.index()].when(at)

@@ -1,12 +1,26 @@
 //! The engine's zero-allocation event plumbing: a slab-backed future-event
-//! list and generation-stamped timer slots.
+//! list (a two-tier ladder/calendar queue) and generation-stamped timer
+//! slots.
 //!
-//! Two design rules keep the hot path allocation-free and cheap:
+//! Three design rules keep the hot path allocation-free and cheap:
 //!
-//! * **Payloads never ride the heap.** The 4-ary min-heap orders small
-//!   `Copy` records `(at, seq, slot)`; the [`EventKind`] payloads live in a
-//!   free-list slab that sift operations never touch. Pushing an event
-//!   after the queue's high-water mark has been reached allocates nothing.
+//! * **Payloads never ride the ordering structure.** The queue orders
+//!   small `Copy` records `(at, seq, slot)` packed into one `u128`; the
+//!   [`EventKind`] payloads live in a free-list slab that the ordering
+//!   machinery never touches. Pushing an event after the queue's
+//!   high-water mark has been reached allocates nothing.
+//! * **The workload is near-sorted, so the queue is a ladder, not a
+//!   heap.** Every message delay falls in the bounded window `[d−u, d]`
+//!   (the paper's model), so events land a roughly constant distance
+//!   ahead of the pops — the classic regime where a calendar/ladder queue
+//!   beats a heap. Pushes drop into fixed-width time buckets in O(1);
+//!   each bucket is sorted once when its turn comes and then drained as a
+//!   tiny insertion-sorted run; the rare far-future event (an idle-period
+//!   timer, a test's adversarial timestamp) overflows to a small 4-ary
+//!   spill heap ([`EventQueue::spill_count`] reports how often). Pop
+//!   order is *exactly* `(at, seq)` — bucket boundaries are a monotone
+//!   function of `at`, so the partition can never reorder keys — which
+//!   the pinned trace hashes and the sharded engine's merge depend on.
 //! * **Timer state is a generation-stamped slab, not a set.** A
 //!   [`TimerId`] packs `(generation, slot)`; cancelling or firing frees
 //!   the slot and bumps its generation, so stale ids are recognized by a
@@ -17,7 +31,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crusader_crypto::NodeId;
-use crusader_time::Time;
+use crusader_time::{Dur, Time};
 
 /// Identifier of a pending local-time timer.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -64,6 +78,15 @@ pub(crate) enum Payload<M> {
     Owned(M),
     /// One broadcast's payload, shared by every pending delivery.
     Shared(Arc<SharedPayload<M>>),
+    /// **Single-lane engine only:** an index into the engine's broadcast
+    /// arena ([`crate::engine::BroadcastArena`]), whose refcounts are
+    /// plain integers — the single-threaded engine pays no atomic
+    /// operations per broadcast delivery. The sharded executor never
+    /// constructs this variant (its broadcast payloads cross lane
+    /// threads, which is exactly what [`Payload::Shared`]'s `Arc` is
+    /// for), so the accessors below treat it as unreachable: the engine
+    /// resolves `Local` against its arena before they can be called.
+    Local(u32),
 }
 
 impl<M> Payload<M> {
@@ -93,6 +116,7 @@ impl<M> Payload<M> {
                     true
                 }
             }
+            Payload::Local(_) => unreachable!("local payloads are resolved by the engine"),
         }
     }
 }
@@ -104,10 +128,19 @@ impl<M: Clone> Payload<M> {
     pub fn into_owned(self) -> M {
         match self {
             Payload::Owned(msg) => msg,
-            Payload::Shared(shared) => match Arc::try_unwrap(shared) {
-                Ok(inner) => inner.msg,
-                Err(arc) => arc.msg.clone(),
-            },
+            Payload::Shared(shared) => {
+                // Probe the refcount before `try_unwrap`: the non-last
+                // deliveries of a broadcast (the common case) then pay a
+                // relaxed load instead of a failed compare-exchange.
+                if Arc::strong_count(&shared) > 1 {
+                    return shared.msg.clone();
+                }
+                match Arc::try_unwrap(shared) {
+                    Ok(inner) => inner.msg,
+                    Err(arc) => arc.msg.clone(),
+                }
+            }
+            Payload::Local(_) => unreachable!("local payloads are resolved by the engine"),
         }
     }
 }
@@ -118,6 +151,7 @@ impl<M> AsRef<M> for Payload<M> {
         match self {
             Payload::Owned(msg) => msg,
             Payload::Shared(shared) => &shared.msg,
+            Payload::Local(_) => unreachable!("local payloads are resolved by the engine"),
         }
     }
 }
@@ -242,97 +276,105 @@ impl HeapEntry {
     }
 }
 
-/// Children per heap node. A 4-ary min-heap halves the tree depth of a
-/// binary one; sift-down compares more children per level but touches
-/// adjacent memory, which is a reliable win for event queues this size
-/// (the pop path dominates: every event is pushed once and popped once).
+/// Children per spill-heap node. A 4-ary min-heap halves the tree depth
+/// of a binary one; sift-down compares more children per level but
+/// touches adjacent memory.
 const HEAP_ARITY: usize = 4;
 
-/// A deterministic future-event list.
+/// Number of ladder buckets (a power of two, so the ring index is a mask).
+const LADDER_BUCKETS: usize = 128;
+
+/// Ladder buckets per delay-horizon hint: the bucket width is
+/// `d / LADDER_BUCKETS_PER_HORIZON`, so the ladder spans
+/// `LADDER_BUCKETS / LADDER_BUCKETS_PER_HORIZON = 16` delay horizons —
+/// comfortably past CPS's timer reach (`T < 10 d`, Corollary 15), which
+/// is what keeps [`EventQueue::spill_count`] at zero for the standard
+/// scenarios.
+const LADDER_BUCKETS_PER_HORIZON: f64 = 8.0;
+
+/// While the queue holds fewer live entries than this (and neither the
+/// ladder nor the spill heap is in use), pushes go straight into the
+/// sorted run: a tiny queue behaves as one sorted array, avoiding a
+/// bucket claim every couple of pops.
+const SPARSE_RUN_MAX: usize = 24;
+
+/// A run taking sustained catch-all splices re-anchors (demotes) itself
+/// back into the ladder once it is longer than this — below it, plain
+/// sorted inserts are cheaper than redistributing.
 ///
-/// Payloads are parked in `slots` (recycled through `free`) while the
-/// 4-ary min-heap sifts only [`HeapEntry`] records; see the module docs.
-#[derive(Debug)]
-pub(crate) struct EventQueue<M> {
-    heap: Vec<HeapEntry>,
-    slots: Vec<Option<EventKind<M>>>,
-    free: Vec<u32>,
-    next_seq: u64,
+/// The demote exists for the sharded engine's push pattern: a lane
+/// drains its queue over a conservative window, and the subsequent
+/// reconcile pushes the whole window's worth of new deliveries — all
+/// within one delay-jitter span `u`, i.e. into *one* bucket, which by
+/// then anchors the (empty or freshly claimed) run. Without the demote
+/// every one of those pushes pays a randomly positioned sorted insert
+/// into an ever-growing run — O(window²) memmove traffic, measured as a
+/// 6× reconcile slowdown at n = 64 — where one O(run) unwind per burst
+/// restores O(1) unsorted bucket appends.
+const RUN_DEMOTE_MIN: usize = 64;
+
+/// Catch-all splices tolerated per claimed run before a large run is
+/// considered under burst pressure (see [`RUN_DEMOTE_MIN`]): a handful
+/// of clamped-to-now timers spliced into a big actively-draining run
+/// must not trigger a demote-and-reclaim round trip.
+const RUN_DEMOTE_INSERTS: u32 = 32;
+
+
+/// Sorts one claimed bucket ascending. Bucket contents are near-sorted —
+/// pushes happen in nondecreasing "now" order with at most the delay
+/// jitter `u` of inversion — so small buckets use a plain insertion sort
+/// (O(k + inversions), the cheapest possible drain for this workload)
+/// while large ones fall back to `sort_unstable`, whose worst case stays
+/// `O(k log k)` even for adversarially shuffled timestamps.
+fn sort_near_sorted(v: &mut [HeapEntry]) {
+    if v.len() > 64 {
+        v.sort_unstable_by_key(|e| e.0);
+        return;
+    }
+    for i in 1..v.len() {
+        let x = v[i];
+        if x.0 >= v[i - 1].0 {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && v[j - 1].0 > x.0 {
+            v[j] = v[j - 1];
+            j -= 1;
+        }
+        v[j] = x;
+    }
 }
 
-impl<M> EventQueue<M> {
-    pub fn new() -> Self {
-        EventQueue {
-            heap: Vec::new(),
-            slots: Vec::new(),
-            free: Vec::new(),
-            next_seq: 0,
-        }
+/// The far-future tier of the ladder queue: a plain 4-ary min-heap of
+/// [`HeapEntry`] records (the pre-ladder queue's ordering structure,
+/// demoted to handling the rare overflow).
+#[derive(Debug, Default)]
+struct SpillHeap {
+    heap: Vec<HeapEntry>,
+}
+
+impl SpillHeap {
+    fn len(&self) -> usize {
+        self.heap.len()
     }
 
-    pub fn push(&mut self, at: Time, kind: EventKind<M>) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.push_with_seq(at, seq, kind);
+    fn peek(&self) -> Option<HeapEntry> {
+        self.heap.first().copied()
     }
 
-    /// [`push`](Self::push) with an externally assigned sequence number.
-    ///
-    /// The sharded engine allocates sequence numbers centrally (its
-    /// reconcile phase replays pushes in the single-lane engine's order)
-    /// and routes each event into the destination node's lane-local queue;
-    /// this entry point bypasses the queue's own counter so `(at, seq)`
-    /// keys stay globally unique and globally ordered across lanes.
-    pub fn push_with_seq(&mut self, at: Time, seq: u64, kind: EventKind<M>) {
-        assert!(seq < SEQ_LIMIT, "more than 2^36 events scheduled");
-        let slot = match self.free.pop() {
-            Some(slot) => {
-                debug_assert!(self.slots[slot as usize].is_none(), "free slot occupied");
-                self.slots[slot as usize] = Some(kind);
-                slot
-            }
-            None => {
-                let slot = u32::try_from(self.slots.len())
-                    .ok()
-                    .filter(|&s| s < SLOT_LIMIT)
-                    .expect("more than 2^28 simultaneous events");
-                self.slots.push(Some(kind));
-                slot
-            }
-        };
-        self.heap.push(HeapEntry::new(at, seq, slot));
+    fn push(&mut self, entry: HeapEntry) {
+        self.heap.push(entry);
         self.sift_up(self.heap.len() - 1);
     }
 
-    /// The `(at, seq)` key of the next event, without popping it. Drives
-    /// the sharded engine's window computation and in-window pop loop.
-    pub fn peek_key(&self) -> Option<EventKey> {
-        self.heap.first().map(|e| e.key())
-    }
-
-    /// [`pop`](Self::pop), also returning the event's global-order key.
-    pub fn pop_keyed(&mut self) -> Option<(EventKey, Event<M>)> {
-        let key = self.peek_key()?;
-        let event = self.pop().expect("peeked queue is non-empty");
-        Some((key, event))
-    }
-
-    pub fn pop(&mut self) -> Option<Event<M>> {
+    fn pop(&mut self) -> Option<HeapEntry> {
         let entry = *self.heap.first()?;
         let last = self.heap.pop().expect("heap is non-empty");
         if !self.heap.is_empty() {
             self.heap[0] = last;
             self.sift_down(0);
         }
-        let slot = entry.slot();
-        let kind = self.slots[slot as usize]
-            .take()
-            .expect("heap entry pointing at empty slot");
-        self.free.push(slot);
-        Some(Event {
-            at: entry.at(),
-            kind,
-        })
+        Some(entry)
     }
 
     fn sift_up(&mut self, mut i: usize) {
@@ -349,10 +391,7 @@ impl<M> EventQueue<M> {
     }
 
     /// Bottom-up sift-down: walk the hole to a leaf choosing the minimum
-    /// child at each level (no pivot comparison), then bubble the displaced
-    /// entry back up. The displaced entry is a leaf from the bottom of the
-    /// heap, so the bubble-up almost always stops immediately — this saves
-    /// one comparison per level over the textbook sift-down.
+    /// child at each level, then bubble the displaced entry back up.
     fn sift_down(&mut self, i: usize) {
         let entry = self.heap[i];
         let len = self.heap.len();
@@ -378,15 +417,484 @@ impl<M> EventQueue<M> {
         self.heap[hole] = entry;
         self.sift_up(hole);
     }
+}
+
+/// A deterministic future-event list: a two-tier ladder/calendar queue.
+///
+/// Payloads are parked in `slots` (recycled through `free`) while the
+/// ordering machinery moves only [`HeapEntry`] records. Three tiers, by
+/// distance from the pop frontier:
+///
+/// 1. **The active run** (`run`): every entry whose bucket index is
+///    `≤ run_idx`, kept sorted ascending behind a head cursor (pops are
+///    a bounds-checked read plus an increment). Drained fully before the
+///    ladder advances; late arrivals into its time range — same-instant
+///    follow-ups, zero-delay sends — are spliced in by binary-search
+///    insertion, the "tiny insertion-sorted run" of the classic ladder
+///    queue.
+/// 2. **The ladder** (`buckets`): a ring of [`LADDER_BUCKETS`] fixed-width
+///    time buckets for indices in `(run_idx, limit_idx)`. A push is O(1):
+///    compute the bucket from `at`, append. When the run drains, the next
+///    non-empty bucket is claimed wholesale (`Vec` swap, so bucket
+///    capacity is recycled through the ring) and sorted once —
+///    `sort_unstable` on packed `u128` keys, far cheaper per entry than
+///    heap sifts because the workload is near-sorted and bucket
+///    populations are small.
+/// 3. **The spill heap** (`spill`): entries at or past `limit_idx` — rare
+///    far-future timers. When run and ladder are both empty the ladder is
+///    re-anchored at the spill minimum and one ladder-span of entries is
+///    drained back into buckets.
+///
+/// **Order is exactly `(at, seq)`, always.** The bucket index is a
+/// monotone function of `at` alone (`floor(at · inv_width)`, computed
+/// identically on every path), so tier boundaries can only ever separate
+/// keys the total order already separates; within a tier, full-key
+/// sorting decides. Adversarially placed timestamps (pushes earlier than
+/// the run frontier, bursts at one instant, far-future spikes) therefore
+/// pop in exactly the order the old heap produced — the equivalence
+/// proptest at the bottom of this file holds the two to account, and the
+/// pinned trace hashes in `crates/bench/tests/determinism.rs` pin it
+/// end-to-end.
+#[derive(Debug)]
+pub(crate) struct EventQueue<M> {
+    /// Tier 1: the active run, sorted ascending; `run[head..]` is live
+    /// (the head cursor avoids reverse-order pops and keeps drains
+    /// forward-scanning).
+    run: Vec<HeapEntry>,
+    /// First live entry of `run` (everything before it already popped).
+    head: usize,
+    /// Tier 2: the bucket ring; absolute index `i` lives at
+    /// `i % LADDER_BUCKETS`, unsorted until claimed.
+    buckets: Vec<Vec<HeapEntry>>,
+    /// Occupancy bitmap over the ring (bit = ring slot non-empty), so
+    /// claiming the next bucket is a couple of `trailing_zeros`, not a
+    /// 128-slot scan.
+    occupied: [u64; LADDER_BUCKETS / 64],
+    /// Tier 3: far-future overflow.
+    spill: SpillHeap,
+    /// Reciprocal bucket width (s⁻¹); fixed at construction.
+    inv_width: f64,
+    /// Highest absolute bucket index covered by the run.
+    run_idx: u64,
+    /// Next absolute bucket index the drain scan will visit.
+    next_idx: u64,
+    /// Entries with `bucket_index >= limit_idx` go to the spill heap.
+    limit_idx: u64,
+    /// Catch-all splices into the current run since it was last claimed,
+    /// anchored, or demoted — the burst detector (see `RUN_DEMOTE_MIN`).
+    run_inserts: u32,
+    /// Entries currently in the bucket ring.
+    in_buckets: usize,
+    /// Total entries across all three tiers.
+    len: usize,
+    /// Lifetime count of pushes that overflowed to the spill heap.
+    spilled: u64,
+    slots: Vec<Option<EventKind<M>>>,
+    free: Vec<u32>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    /// A queue with the default bucket width (tuned for `d = 1 ms`, the
+    /// [`SimBuilder`](crate::SimBuilder) default). Production paths pass
+    /// the real link delay via [`with_delay_hint`](Self::with_delay_hint);
+    /// this is the test constructor.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn new() -> Self {
+        Self::with_delay_hint(Dur::from_millis(1.0))
+    }
+
+    /// An allocation-free stand-in for a queue that will never be used —
+    /// the value a dispatched lane leaves behind while it is out on a
+    /// worker thread. The bucket ring is empty, so debug builds panic on
+    /// any push (see the `debug_assert` in
+    /// [`push_with_seq`](Self::push_with_seq)); the sharded engine swaps
+    /// the real lane back before any queue operation can happen.
+    pub fn placeholder() -> Self {
+        EventQueue {
+            run: Vec::new(),
+            head: 0,
+            buckets: Vec::new(),
+            occupied: [0; LADDER_BUCKETS / 64],
+            spill: SpillHeap::default(),
+            inv_width: 1.0,
+            run_idx: 0,
+            next_idx: 1,
+            limit_idx: LADDER_BUCKETS as u64,
+            run_inserts: 0,
+            in_buckets: 0,
+            len: 0,
+            spilled: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// A queue whose ladder is sized for a maximum message delay of `d`:
+    /// bucket width `d / 8`, ladder span `16 d`. The hint affects only
+    /// performance (how often events overflow to the spill heap), never
+    /// ordering.
+    pub fn with_delay_hint(d: Dur) -> Self {
+        let width = d.as_secs() / LADDER_BUCKETS_PER_HORIZON;
+        let inv_width = if width > 0.0 && width.is_finite() {
+            1.0 / width
+        } else {
+            LADDER_BUCKETS_PER_HORIZON / 1e-3
+        };
+        EventQueue {
+            run: Vec::new(),
+            head: 0,
+            buckets: (0..LADDER_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; LADDER_BUCKETS / 64],
+            spill: SpillHeap::default(),
+            inv_width,
+            run_idx: 0,
+            next_idx: 1,
+            limit_idx: LADDER_BUCKETS as u64,
+            run_inserts: 0,
+            in_buckets: 0,
+            len: 0,
+            spilled: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The absolute ladder-bucket index of `at` — monotone in `at`, and
+    /// the *same* function on every push and recharge path, which is what
+    /// makes the tier partition order-safe. Clamped below `u64::MAX` so
+    /// `limit_idx` arithmetic cannot overflow (clamped entries just share
+    /// the topmost bucket; within-bucket sorting still orders them).
+    #[inline]
+    fn bucket_index(&self, at: Time) -> u64 {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = (at.as_secs() * self.inv_width) as u64; // saturating cast
+        idx.min(u64::MAX - LADDER_BUCKETS as u64 - 2)
+    }
+
+    pub fn push(&mut self, at: Time, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.push_with_seq(at, seq, kind);
+    }
+
+    /// [`push`](Self::push) with an externally assigned sequence number.
+    ///
+    /// The sharded engine allocates sequence numbers centrally (its
+    /// reconcile phase replays pushes in the single-lane engine's order)
+    /// and routes each event into the destination node's lane-local queue;
+    /// this entry point bypasses the queue's own counter so `(at, seq)`
+    /// keys stay globally unique and globally ordered across lanes.
+    pub fn push_with_seq(&mut self, at: Time, seq: u64, kind: EventKind<M>) {
+        debug_assert!(
+            !self.buckets.is_empty(),
+            "push into a placeholder queue (see EventQueue::placeholder)"
+        );
+        assert!(seq < SEQ_LIMIT, "more than 2^36 events scheduled");
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none(), "free slot occupied");
+                self.slots[slot as usize] = Some(kind);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len())
+                    .ok()
+                    .filter(|&s| s < SLOT_LIMIT)
+                    .expect("more than 2^28 simultaneous events");
+                self.slots.push(Some(kind));
+                slot
+            }
+        };
+        let entry = HeapEntry::new(at, seq, slot);
+        let idx = self.bucket_index(at);
+        if self.len == 0 {
+            // Re-anchor the ladder on the first event of a fresh epoch,
+            // discarding the drained run's dead prefix (without this, a
+            // workload that repeatedly drains the queue would grow the
+            // run `Vec` by one entry per epoch forever). The limit
+            // leaves one bucket of headroom *below* the anchor so a
+            // post-anchor burst can demote out of the run without
+            // aliasing ring slots.
+            self.run.clear();
+            self.head = 0;
+            self.run_idx = idx;
+            self.next_idx = idx + 1;
+            self.limit_idx = idx + LADDER_BUCKETS as u64;
+            self.run_inserts = 0;
+            self.run.push(entry);
+        } else if self.in_buckets == 0
+            && self.spill.len() == 0
+            && self.run.len() - self.head < SPARSE_RUN_MAX
+            && idx < self.limit_idx
+        {
+            // Sparse mode: while the queue is tiny and fits one sorted
+            // array, keep everything in the run (a binary-search insert
+            // beats paying a bucket claim every couple of pops). The run
+            // then covers every index it absorbed. Compact the popped
+            // prefix once it dominates the buffer — sparse steady state
+            // never drains the run, so without this the dead prefix
+            // would grow with run length, one entry per pop.
+            if self.head > SPARSE_RUN_MAX {
+                self.run.drain(..self.head);
+                self.head = 0;
+            }
+            let pos = self.run[self.head..].partition_point(|e| e.0 < entry.0);
+            self.run.insert(self.head + pos, entry);
+            self.run_idx = self.run_idx.max(idx);
+            self.next_idx = self.run_idx + 1;
+        } else if idx <= self.run_idx {
+            // Lands in the active run's time range: splice it into the
+            // sorted run. Covers same-instant follow-ups and adversarial
+            // pushes earlier than the current frontier. A large run
+            // taking *sustained* splices is the burst anti-pattern (a
+            // whole round of deliveries landing in one freshly anchored
+            // or claimed bucket, each paying a mid-run memmove — measured
+            // as a 6× reconcile slowdown at n = 64); past
+            // [`RUN_DEMOTE_MIN`] the run demotes itself back into the
+            // ladder, after which the burst appends to an unsorted bucket
+            // in O(1) and is sorted once on claim. The insert-count gate
+            // keeps an occasional splice into a large actively-draining
+            // run (a timer clamped to "now") from paying a pointless
+            // demote-and-reclaim round trip.
+            self.run_inserts += 1;
+            if self.run_inserts > RUN_DEMOTE_INSERTS && self.run.len() - self.head > RUN_DEMOTE_MIN
+            {
+                self.demote_run(idx.saturating_sub(1));
+            }
+            if idx <= self.run_idx {
+                // Amortized prefix compaction (same rationale as the
+                // sparse branch): a run that keeps absorbing splices as
+                // fast as it drains may never empty, so drop the popped
+                // prefix whenever it outweighs the live tail.
+                if self.head > SPARSE_RUN_MAX && self.head >= self.run.len() - self.head {
+                    self.run.drain(..self.head);
+                    self.head = 0;
+                }
+                let pos = self.run[self.head..].partition_point(|e| e.0 < entry.0);
+                self.run.insert(self.head + pos, entry);
+            } else {
+                self.bucket_push(idx, entry);
+            }
+        } else if idx < self.limit_idx {
+            self.bucket_push(idx, entry);
+        } else {
+            self.spill.push(entry);
+            self.spilled += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Appends an entry to its ring bucket (unsorted until claimed).
+    #[inline]
+    fn bucket_push(&mut self, idx: u64, entry: HeapEntry) {
+        debug_assert!(idx > self.run_idx && idx < self.limit_idx);
+        let slot = (idx % LADDER_BUCKETS as u64) as usize;
+        self.buckets[slot].push(entry);
+        self.occupied[slot / 64] |= 1 << (slot % 64);
+        self.in_buckets += 1;
+    }
+
+    /// Makes the run's head the queue minimum, claiming lazily: the
+    /// ladder only advances when someone actually asks for the front.
+    /// Lazy (rather than claim-on-last-pop) matters to the sharded
+    /// engine, whose reconcile pushes a whole window of traffic between a
+    /// lane's last pop and its next peek — those pushes should land in
+    /// unclaimed O(1) buckets, not splice into a prematurely claimed run.
+    #[inline]
+    fn ensure_front(&mut self) {
+        if self.head == self.run.len() && self.len > 0 {
+            self.run.clear();
+            self.head = 0;
+            self.advance();
+        }
+    }
+
+    /// The `(at, seq)` key of the next event, without popping it. Drives
+    /// the sharded engine's window computation and in-window pop loop.
+    /// (`&mut`: may lazily claim the next ladder bucket.)
+    pub fn peek_key(&mut self) -> Option<EventKey> {
+        self.ensure_front();
+        self.run.get(self.head).map(|e| e.key())
+    }
+
+    /// [`pop`](Self::pop), also returning the event's global-order key.
+    pub fn pop_keyed(&mut self) -> Option<(EventKey, Event<M>)> {
+        let key = self.peek_key()?;
+        let event = self.pop().expect("peeked queue is non-empty");
+        Some((key, event))
+    }
+
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.ensure_front();
+        let entry = *self.run.get(self.head)?;
+        self.head += 1;
+        self.len -= 1;
+        let slot = entry.slot();
+        let kind = self.slots[slot as usize]
+            .take()
+            .expect("queue entry pointing at empty slot");
+        self.free.push(slot);
+        Some(Event {
+            at: entry.at(),
+            kind,
+        })
+    }
+
+    /// Returns the run's remaining entries to the ladder (keeping the
+    /// partition invariants), so that a consumer pausing mid-run — a lane
+    /// stopping at its conservative-window boundary — leaves the queue in
+    /// its cheapest shape for the pushes that arrive before the next
+    /// peek. Purely a performance hint: order is unaffected, and the next
+    /// front access re-claims lazily.
+    pub fn relax(&mut self) {
+        if self.head == self.run.len() {
+            self.run.clear();
+            self.head = 0;
+            return;
+        }
+        let new_idx = self.bucket_index(self.run[self.head].at()).saturating_sub(1);
+        if new_idx < self.run_idx {
+            self.demote_run(new_idx);
+        }
+    }
+
+    /// Claims the next non-empty bucket as the new active run (recharging
+    /// the ladder from the spill heap first if every bucket is empty).
+    /// Called only when the run is empty but the queue is not.
+    fn advance(&mut self) {
+        debug_assert!(self.run.is_empty());
+        if self.in_buckets == 0 {
+            // Ladder dry: re-anchor it at the spill minimum and pull one
+            // ladder-span of far-future entries back into buckets.
+            let top = self.spill.peek().expect("non-empty queue with empty tiers");
+            let first = self.bucket_index(top.at());
+            self.next_idx = first;
+            self.limit_idx = first + LADDER_BUCKETS as u64;
+            while let Some(top) = self.spill.peek() {
+                let idx = self.bucket_index(top.at());
+                if idx >= self.limit_idx {
+                    break;
+                }
+                let entry = self.spill.pop().expect("peeked spill heap is non-empty");
+                let slot = (idx % LADDER_BUCKETS as u64) as usize;
+                self.buckets[slot].push(entry);
+                self.occupied[slot / 64] |= 1 << (slot % 64);
+                self.in_buckets += 1;
+            }
+            // (direct pushes rather than `bucket_push`: during a recharge
+            // the run is empty and `run_idx` still points at its drained
+            // epoch, so the helper's frontier assertion does not apply)
+            debug_assert!(self.in_buckets > 0, "recharge drained nothing");
+        }
+        // The occupancy bitmap finds the next non-empty ring slot in the
+        // cyclic order starting at `next_idx`; live bucket indices span
+        // at most the ring size, so the cyclic distance recovers the
+        // absolute index unambiguously.
+        let from = (self.next_idx % LADDER_BUCKETS as u64) as usize;
+        let slot = self.first_occupied_from(from);
+        let delta = (slot + LADDER_BUCKETS - from) % LADDER_BUCKETS;
+        // Swap, not drain: the run's spent capacity rotates into the ring
+        // slot, so steady state allocates nothing.
+        std::mem::swap(&mut self.run, &mut self.buckets[slot]);
+        self.occupied[slot / 64] &= !(1 << (slot % 64));
+        self.in_buckets -= self.run.len();
+        sort_near_sorted(&mut self.run);
+        self.run_idx = self.next_idx + delta as u64;
+        self.next_idx = self.run_idx + 1;
+        self.run_inserts = 0;
+    }
+
+    /// Re-anchors the run at `new_run_idx` (or as far back as the ring
+    /// can address), returning every entry of a later bucket to the
+    /// ladder. Called when a push lands behind a large run's coverage or
+    /// a consumer pauses mid-run; `O(run)`, at most once per undercut.
+    fn demote_run(&mut self, new_run_idx: u64) {
+        // The ring aliases indices `LADDER_BUCKETS` apart, so only
+        // indices within one ring-span of `limit_idx` may hold entries;
+        // anything the run covers below that stays in the run (the
+        // catch-all tier has no aliasing problem).
+        let new_run_idx = new_run_idx.max(
+            self.limit_idx
+                .saturating_sub(LADDER_BUCKETS as u64 + 1),
+        );
+        if new_run_idx >= self.run_idx {
+            return;
+        }
+        self.run.drain(..self.head);
+        self.head = 0;
+        // The run is sorted and the bucket index is monotone in `at`, so
+        // the entries that stay (index ≤ the new anchor) are a prefix.
+        let keep = self
+            .run
+            .partition_point(|e| self.bucket_index(e.at()) <= new_run_idx);
+        for i in keep..self.run.len() {
+            let entry = self.run[i];
+            let idx = self.bucket_index(entry.at());
+            debug_assert!(
+                idx > new_run_idx && idx < self.limit_idx,
+                "demoted entry outside the ladder's addressable span"
+            );
+            let slot = (idx % LADDER_BUCKETS as u64) as usize;
+            self.buckets[slot].push(entry);
+            self.occupied[slot / 64] |= 1 << (slot % 64);
+            self.in_buckets += 1;
+        }
+        self.run.truncate(keep);
+        self.run_idx = new_run_idx;
+        self.next_idx = new_run_idx + 1;
+        self.run_inserts = 0;
+    }
+
+    /// First set bit of the occupancy bitmap in cyclic ring order
+    /// starting at `from`. Must only be called with at least one bucket
+    /// occupied. Written against `LADDER_BUCKETS / 64` words so the
+    /// bucket count stays a freely tunable constant.
+    #[inline]
+    fn first_occupied_from(&self, from: usize) -> usize {
+        const WORDS: usize = LADDER_BUCKETS / 64;
+        let (word, bit) = (from / 64, from % 64);
+        let masked = self.occupied[word] & (!0u64 << bit);
+        if masked != 0 {
+            return word * 64 + masked.trailing_zeros() as usize;
+        }
+        for step in 1..=WORDS {
+            let w = (word + step) % WORDS;
+            // The final step re-visits the starting word's low bits,
+            // completing the cyclic order.
+            let bits = if w == word {
+                self.occupied[w] & !(!0u64 << bit)
+            } else {
+                self.occupied[w]
+            };
+            if bits != 0 {
+                return w * 64 + bits.trailing_zeros() as usize;
+            }
+        }
+        unreachable!("first_occupied_from on an empty ladder")
+    }
+
+    /// How many pushes overflowed past the ladder's horizon into the
+    /// spill heap over this queue's lifetime. Zero for workloads whose
+    /// events stay within ~16 delay horizons of the pop frontier (all the
+    /// standard CPS scenarios — a regression test pins this); a large
+    /// value signals the delay hint passed to
+    /// [`with_delay_hint`](Self::with_delay_hint) is far off the
+    /// workload's real horizon.
+    pub fn spill_count(&self) -> u64 {
+        self.spilled
+    }
 
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Number of `Deliver` events currently pending — the sharded engine's
@@ -514,6 +1022,38 @@ mod tests {
 
     use super::*;
 
+    /// Microbenchmark of the queue alone (not a correctness test):
+    /// `cargo test --release -p crusader_sim -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "microbenchmark, run explicitly with --ignored"]
+    fn bench_queue_steady_state() {
+        // CPS-ish steady state: ~N outstanding, each pop schedules one
+        // push at popped_at + delay, delay in [d-u, d].
+        let d = 1e-3;
+        let u = 1e-5;
+        for outstanding in [8usize, 64, 360] {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut x = 0x9e3779b97f4a7c15u64;
+            let mut rng = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            };
+            for i in 0..outstanding {
+                q.push(Time::from_secs(d * rng() + i as f64 * 1e-9), EventKind::AdvTimer { key: 0 });
+            }
+            let iters = 2_000_000u64;
+            let started = std::time::Instant::now();
+            for _ in 0..iters {
+                let e = q.pop().unwrap();
+                q.push(e.at + Dur::from_secs(d - u * rng()), EventKind::AdvTimer { key: 0 });
+            }
+            let ns = started.elapsed().as_nanos() as f64 / iters as f64;
+            println!("outstanding={outstanding}: {ns:.1} ns/op (pop+push)");
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q: EventQueue<()> = EventQueue::new();
@@ -612,6 +1152,61 @@ mod tests {
         assert!(!slab.fire(TimerId::new(123)));
     }
 
+    #[test]
+    fn far_future_events_spill_and_return_in_order() {
+        let d = Dur::from_millis(1.0);
+        let mut q: EventQueue<()> = EventQueue::with_delay_hint(d);
+        // Anchor near zero, then schedule far past the 16d ladder span.
+        q.push(Time::from_millis(0.5), EventKind::AdvTimer { key: 0 });
+        q.push(Time::from_millis(500.0), EventKind::AdvTimer { key: 2 });
+        q.push(Time::from_millis(100.0), EventKind::AdvTimer { key: 1 });
+        q.push(Time::from_millis(5000.0), EventKind::AdvTimer { key: 3 });
+        assert_eq!(q.spill_count(), 3, "all three far timers overflow");
+        let keys: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::AdvTimer { key } => key,
+                _ => unreachable!(),
+            })
+            .collect();
+        // Spilled entries recharge the ladder and still pop in time order,
+        // across two separate recharges (100 ms and 500 ms fit no common
+        // ladder span; 5000 ms needs a third).
+        assert_eq!(keys, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn horizon_rollover_reanchors_the_ladder() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        for round in 0..50u64 {
+            // Each round sits ~1000 bucket widths past the previous one,
+            // far beyond the 128-bucket ring: the queue must re-anchor
+            // every time it drains (and when a push lands on an empty
+            // queue), without ring-index collisions corrupting order.
+            let base = Time::from_secs(round as f64 * 0.125);
+            q.push(base + Dur::from_micros(7.0), EventKind::AdvTimer { key: 2 * round });
+            q.push(base, EventKind::AdvTimer { key: 2 * round + 1 });
+            let first = q.pop().unwrap();
+            let second = q.pop().unwrap();
+            assert_eq!(first.at, base);
+            assert_eq!(second.at, base + Dur::from_micros(7.0));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pushes_behind_the_frontier_still_pop_first() {
+        // An adversarial push *earlier* than everything already popped
+        // must still come out before later-dated entries (the run is the
+        // catch-all tier below the frontier).
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.push(Time::from_secs(1.0), EventKind::AdvTimer { key: 10 });
+        q.push(Time::from_secs(1.001), EventKind::AdvTimer { key: 11 });
+        assert_eq!(q.pop().unwrap().at, Time::from_secs(1.0));
+        q.push(Time::from_secs(0.25), EventKind::AdvTimer { key: 12 });
+        assert_eq!(q.pop().unwrap().at, Time::from_secs(0.25));
+        assert_eq!(q.pop().unwrap().at, Time::from_secs(1.001));
+    }
+
     proptest! {
         /// Random interleavings of pushes and pops: pops always come out
         /// in (at, seq) order, and the slab never leaks a slot.
@@ -691,6 +1286,88 @@ mod tests {
                 prop_assert_eq!(slab.live(), pending.len());
             }
             prop_assert!(slab.high_water() <= 300);
+        }
+
+        /// Ladder queue vs. a `BinaryHeap` oracle over adversarial
+        /// timestamp patterns — same-instant bursts, zero-delay (ũ = d)
+        /// arrivals, bounded-delay traffic, far-future timers that hit
+        /// the spill heap, and horizon rollovers that force the ladder to
+        /// re-anchor. The `(at, seq)` pop sequences must be identical.
+        #[test]
+        fn prop_ladder_matches_heap_oracle(
+            ops in proptest::collection::vec(0u32..1 << 14, 1..300)
+        ) {
+            use std::cmp::Reverse;
+            use std::collections::BinaryHeap;
+
+            let d = 1e-3; // matches the default delay hint
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut oracle: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            let mut next_seq = 0u64;
+            let mut now = 0.0f64; // real time of the latest pop
+            let mut push = |q: &mut EventQueue<u64>,
+                            oracle: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                            seq: &mut u64,
+                            at: f64| {
+                q.push(Time::from_secs(at), EventKind::AdvTimer { key: *seq });
+                oracle.push(Reverse((at.to_bits(), *seq)));
+                *seq += 1;
+            };
+            let pop_and_compare = |q: &mut EventQueue<u64>,
+                                       oracle: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                                       now: &mut f64| {
+                let got = q.pop();
+                let want = oracle.pop();
+                match (got, want) {
+                    (None, None) => {}
+                    (Some(event), Some(Reverse((at_bits, seq)))) => {
+                        prop_assert_eq!(event.at.as_secs().to_bits(), at_bits);
+                        match event.kind {
+                            EventKind::AdvTimer { key } => prop_assert_eq!(key, seq),
+                            _ => prop_assert!(false, "unexpected kind"),
+                        }
+                        *now = f64::from_bits(at_bits);
+                    }
+                    (got, want) => {
+                        prop_assert!(false, "pop mismatch: {got:?} vs {want:?}");
+                    }
+                }
+            };
+            for op in ops {
+                let magnitude = f64::from(op >> 3);
+                match op % 8 {
+                    // Bounded-delay traffic: delays in [d − u, d].
+                    0 | 1 => {
+                        let delay = d - (magnitude / 2048.0) * (d / 10.0);
+                        push(&mut q, &mut oracle, &mut next_seq, now + delay);
+                    }
+                    // Same-instant burst (ties broken by seq alone).
+                    2 => {
+                        for _ in 0..3 {
+                            push(&mut q, &mut oracle, &mut next_seq, now);
+                        }
+                    }
+                    // Zero-delay arrival, as under ũ = d.
+                    3 => push(&mut q, &mut oracle, &mut next_seq, now),
+                    // Far-future timer, beyond the 16d ladder span.
+                    4 => {
+                        let at = now + (20.0 + magnitude) * 16.0 * d;
+                        push(&mut q, &mut oracle, &mut next_seq, at);
+                    }
+                    // Horizon rollover: leap thousands of bucket widths.
+                    5 => {
+                        let at = now + magnitude * 8.0 * d;
+                        push(&mut q, &mut oracle, &mut next_seq, at);
+                    }
+                    _ => pop_and_compare(&mut q, &mut oracle, &mut now),
+                }
+                prop_assert_eq!(q.len(), oracle.len());
+            }
+            // Drain both to the end; the sequences must agree exactly.
+            while !oracle.is_empty() || !q.is_empty() {
+                pop_and_compare(&mut q, &mut oracle, &mut now);
+            }
+            prop_assert_eq!(q.free_slots(), q.slab_slots());
         }
     }
 }

@@ -14,8 +14,9 @@
 //!   queue (the engine's packed-`u128` 4-ary min-heap) holding exactly
 //!   the events destined for its nodes.
 //! * **Windows.** Each round picks the globally earliest pending event
-//!   time `t_min` and advances every lane — in parallel, on scoped
-//!   threads — through the window `[t_min, t_min + (d − ũ))`. `d − ũ` is
+//!   time `t_min` and advances every lane — in parallel, on a persistent
+//!   per-lane worker pool — through the window `[t_min, t_min + (d − ũ))`.
+//!   `d − ũ` is
 //!   the minimum delay of *any* link, so no message sent inside the
 //!   window can also arrive inside it: the only intra-window events a
 //!   lane can create are its own nodes' timers, which stay lane-local.
@@ -71,17 +72,24 @@
 //! `crates/bench/tests/determinism.rs` and the cross-check proptests in
 //! `crates/bench/tests/sharded.rs` hold this equivalence to account.
 //!
-//! The one intentional deviation: [`Trace::timer_slots_high_water`] is
+//! Two intentional deviations: [`Trace::timer_slots_high_water`] is
 //! reported as the *sum* of the per-lane slab high-waters — still a valid
 //! memory bound, but an upper estimate of the single global slab's
-//! high-water (lanes cannot observe each other's concurrent occupancy).
+//! high-water (lanes cannot observe each other's concurrent occupancy) —
+//! and [`Trace::queue_spill_count`] sums the per-lane ladder-queue spill
+//! counters, which need not equal the single global queue's (lane
+//! frontiers advance independently). Both are performance diagnostics,
+//! excluded from the determinism trace hash.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 use std::iter::Peekable;
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::vec::IntoIter;
 
+use crossbeam::channel::{Receiver, Sender};
 use crusader_crypto::{KnowledgeTracker, NodeId, RestrictedSigner, Signer, Verifier};
 use crusader_time::{Dur, HardwareClock, Time};
 use rand::rngs::SmallRng;
@@ -179,12 +187,18 @@ impl Window {
     }
 }
 
-/// Read-only engine state a lane needs while advancing.
-struct LaneShared<'a> {
-    clocks: &'a [HardwareClock],
-    signers: &'a [Arc<dyn Signer>],
-    verifier: &'a dyn Verifier,
-    faulty_mask: &'a [bool],
+/// Read-only engine state shared by every lane and the reconcile thread.
+///
+/// Owned (not borrowed) and handed to the worker pool behind one `Arc` at
+/// spawn time: persistent worker threads outlive any stack frame of the
+/// reconcile loop, so the per-window borrows the old scoped-thread
+/// implementation relied on cannot work here. Everything inside is
+/// immutable for the whole run.
+struct EngineCtx {
+    clocks: Vec<HardwareClock>,
+    signers: Vec<Arc<dyn Signer>>,
+    verifier: Arc<dyn Verifier>,
+    faulty_mask: Vec<bool>,
     n: usize,
     lanes: usize,
     horizon: Time,
@@ -212,10 +226,27 @@ struct Lane<A: Automaton> {
 }
 
 impl<A: Automaton> Lane<A> {
+    /// A contentless placeholder left behind while the real lane is out
+    /// on a worker thread (never advanced, never observed). Built from
+    /// empty `Vec`s and [`EventQueue::placeholder`], so the per-window
+    /// swap allocates nothing.
+    fn vacant() -> Self {
+        Lane {
+            nodes: Vec::new(),
+            queue: EventQueue::placeholder(),
+            timers: TimerSlab::new(),
+            records: Vec::new(),
+            arena: Vec::new(),
+            provisional: 0,
+            effects: Vec::new(),
+            delivers_popped: 0,
+        }
+    }
+
     /// Processes every pending event inside `window` (capped by the
     /// horizon and the event-cap `budget`), recording one mailbox entry
     /// per pop.
-    fn advance(&mut self, sh: &LaneShared<'_>, window: Window, budget: usize) {
+    fn advance(&mut self, sh: &EngineCtx, window: Window, budget: usize) {
         while let Some(key) = self.queue.peek_key() {
             if !window.contains(key.at()) || key.at() > sh.horizon {
                 break;
@@ -270,6 +301,10 @@ impl<A: Automaton> Lane<A> {
             };
             self.records.push(Record { at, seq, body });
         }
+        // Pausing at the window boundary: hand the run's unpopped tail
+        // back to the ladder, so the reconcile's upcoming push storm
+        // lands in O(1) buckets instead of splicing into a claimed run.
+        self.queue.relax();
     }
 
     /// Runs `f` against node `v` at real time `now` and converts the
@@ -278,7 +313,7 @@ impl<A: Automaton> Lane<A> {
     /// inline and every timer is pushed with its true sequence number).
     fn run_handler<F>(
         &mut self,
-        sh: &LaneShared<'_>,
+        sh: &EngineCtx,
         v: NodeId,
         now: Time,
         window: Option<Window>,
@@ -299,7 +334,7 @@ impl<A: Automaton> Lane<A> {
                 n: sh.n,
                 now_local,
                 signer: &*sh.signers[v.index()],
-                verifier: sh.verifier,
+                verifier: &*sh.verifier,
                 timers: &mut self.timers,
                 effects: &mut effects,
             };
@@ -397,21 +432,26 @@ enum Src {
 /// Produces the same [`Trace`] — bit for bit, including event and message
 /// counts, pulse times, and violation order — as the single-lane
 /// [`Sim::run`] on the same builder and seed (the one documented
-/// exception is [`Trace::timer_slots_high_water`]; see the [module
-/// docs](self)). Lanes advance on scoped threads, so wall-clock improves
-/// with lane count on large `n` while small runs are better served by the
-/// single-lane engine.
+/// exceptions are [`Trace::timer_slots_high_water`] and
+/// [`Trace::queue_spill_count`]; see the [module docs](self)). Lanes
+/// advance on a pool of long-lived worker threads — one per lane, spawned
+/// lazily on the first parallel window, handed their lanes through
+/// channels, and parked between windows — so wall-clock improves with
+/// lane count on large `n` (without paying a `thread::scope` spawn/join
+/// per conservative window) while small runs and single-CPU hosts fall
+/// back to inline execution. [`ShardedSim::set_parallel`] overrides the
+/// automatic choice; the trace is identical either way.
 pub struct ShardedSim<A: Automaton> {
     n: usize,
     faulty: BTreeSet<NodeId>,
-    faulty_mask: Vec<bool>,
     adversary_passive: bool,
     honest: Vec<NodeId>,
     link: LinkConfig,
     delay_model: DelayModel,
-    clocks: Vec<HardwareClock>,
-    signers: Vec<Arc<dyn Signer>>,
-    verifier: Arc<dyn Verifier>,
+    /// Immutable shared state (clocks, signers, verifier, fault bitmap),
+    /// `Arc`ed once so the persistent worker threads can hold it for the
+    /// whole run.
+    cx: Arc<EngineCtx>,
     adv_signer: RestrictedSigner,
     knowledge: KnowledgeTracker,
     adversary: Box<dyn Adversary<A::Msg>>,
@@ -432,10 +472,88 @@ pub struct ShardedSim<A: Automaton> {
     adv_effects: Vec<AdvEffect<A::Msg>>,
     pulse_recorded: bool,
     posted: u64,
-    /// Worker threads are only worth spawning when the host actually has
-    /// more than one hardware thread; on a single-CPU host the lanes run
-    /// inline (same order, same trace — scheduling never affects output).
+    /// Whether window work is dispatched to the persistent worker pool.
+    /// Defaults to `available_parallelism() > 1`; on a single-CPU host
+    /// the lanes run inline (same order, same trace — scheduling never
+    /// affects output). Overridable via [`Self::set_parallel`].
     parallel: bool,
+    /// Long-lived per-lane worker threads, spawned lazily on the first
+    /// window that has parallel work and parked on their job channels
+    /// between windows.
+    pool: Option<WorkerPool<A>>,
+}
+
+/// One window's work order for a lane worker: the lane travels to the
+/// worker thread by value and comes back through the done channel.
+struct Job<A: Automaton> {
+    lane: Lane<A>,
+    window: Window,
+    budget: usize,
+}
+
+/// What a worker sends back: the lane index it owns plus either the
+/// advanced lane or the panic payload of a handler that blew up (resumed
+/// on the reconcile thread, exactly like the old scoped-thread join).
+type Done<A> = (usize, std::thread::Result<Lane<A>>);
+
+/// The persistent worker pool: one long-lived thread per lane, fed
+/// through an unbounded channel hand-off and parked between conservative
+/// windows. Replaces the per-window `thread::scope` spawn/join, which
+/// paid thread creation and teardown for every window of length `d − ũ`
+/// — at large `n` that is thousands of windows per run.
+struct WorkerPool<A: Automaton> {
+    jobs: Vec<Sender<Job<A>>>,
+    done_rx: Receiver<Done<A>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<A: Automaton> WorkerPool<A> {
+    /// Spawns one worker per lane. Each worker loops: receive a job,
+    /// advance the lane through its window, send the lane back; it exits
+    /// when its job channel disconnects (pool drop).
+    fn spawn(cx: &Arc<EngineCtx>, lanes: usize) -> Self {
+        let (done_tx, done_rx) = crossbeam::channel::unbounded();
+        let mut jobs = Vec::with_capacity(lanes);
+        let handles = (0..lanes)
+            .map(|index| {
+                let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job<A>>();
+                jobs.push(job_tx);
+                let cx = Arc::clone(cx);
+                let done = done_tx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = job_rx.recv() {
+                        let Job {
+                            mut lane,
+                            window,
+                            budget,
+                        } = job;
+                        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            lane.advance(&cx, window, budget);
+                            lane
+                        }));
+                        if done.send((index, result)).is_err() {
+                            break; // pool dropped mid-run (reconcile panicked)
+                        }
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            jobs,
+            done_rx,
+            handles,
+        }
+    }
+}
+
+impl<A: Automaton> Drop for WorkerPool<A> {
+    fn drop(&mut self) {
+        // Disconnect every job channel; the workers' recv loops end.
+        self.jobs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 impl<A: Automaton> ShardedSim<A> {
@@ -451,7 +569,7 @@ impl<A: Automaton> ShardedSim<A> {
         let lane_states = (0..lanes)
             .map(|l| Lane {
                 nodes: (l..sim.n).step_by(lanes).map(|i| nodes[i].take()).collect(),
-                queue: EventQueue::new(),
+                queue: EventQueue::with_delay_hint(sim.link.d),
                 timers: TimerSlab::new(),
                 records: Vec::new(),
                 arena: Vec::new(),
@@ -463,14 +581,19 @@ impl<A: Automaton> ShardedSim<A> {
         ShardedSim {
             n: sim.n,
             faulty: sim.faulty,
-            faulty_mask: sim.faulty_mask,
             adversary_passive: sim.adversary_passive,
             honest: sim.honest,
             link: sim.link,
             delay_model: sim.delay_model,
-            clocks: sim.clocks,
-            signers: sim.signers,
-            verifier: sim.verifier,
+            cx: Arc::new(EngineCtx {
+                clocks: sim.clocks,
+                signers: sim.signers,
+                verifier: sim.verifier,
+                faulty_mask: sim.faulty_mask,
+                n: sim.n,
+                lanes,
+                horizon: sim.limits.horizon,
+            }),
             adv_signer: sim.adv_signer,
             knowledge: sim.knowledge,
             adversary: sim.adversary,
@@ -486,6 +609,7 @@ impl<A: Automaton> ShardedSim<A> {
             pulse_recorded: false,
             posted: 0,
             parallel: std::thread::available_parallelism().is_ok_and(|p| p.get() > 1),
+            pool: None,
         }
     }
 
@@ -493,6 +617,20 @@ impl<A: Automaton> ShardedSim<A> {
     #[must_use]
     pub fn lanes(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// Overrides the automatic use-worker-threads decision (which is
+    /// "spawn the pool iff `available_parallelism() > 1`").
+    ///
+    /// `set_parallel(true)` forces window work through the persistent
+    /// worker pool even on a single-CPU host — slower there, but it
+    /// exercises the exact cross-thread hand-off path, which is how the
+    /// CI bench-smoke job and the determinism tests cross-check the pool
+    /// against the inline executor on any machine. `set_parallel(false)`
+    /// forces the inline path. The trace is bit-for-bit identical either
+    /// way: lane scheduling never affects output order.
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
     }
 
     /// Runs the sharded simulation to completion and returns the trace.
@@ -538,6 +676,7 @@ impl<A: Automaton> ShardedSim<A> {
             .iter()
             .map(|l| l.timers.high_water() as u64)
             .sum();
+        self.trace.queue_spill_count = self.lanes.iter().map(|l| l.queue.spill_count()).sum();
         let stats = MailboxStats {
             posted: self.posted,
             consumed: self.lanes.iter().map(|l| l.delivers_popped).sum(),
@@ -551,9 +690,14 @@ impl<A: Automaton> ShardedSim<A> {
     }
 
     /// The earliest pending `(at, seq)` key across lanes and adversary
-    /// timers — the next window's start.
-    fn global_min_key(&self) -> Option<EventKey> {
-        let lane_min = self.lanes.iter().filter_map(|l| l.queue.peek_key()).min();
+    /// timers — the next window's start. (`&mut`: peeking may lazily
+    /// claim a lane queue's next ladder bucket.)
+    fn global_min_key(&mut self) -> Option<EventKey> {
+        let lane_min = self
+            .lanes
+            .iter_mut()
+            .filter_map(|l| l.queue.peek_key())
+            .min();
         let adv_min = self.adv_queue.peek().map(|Reverse((key, _))| *key);
         match (lane_min, adv_min) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -572,8 +716,9 @@ impl<A: Automaton> ShardedSim<A> {
         self.with_adversary(|adv, api| adv.on_init(api));
     }
 
-    /// Advances every lane with window work, in parallel when more than
-    /// one has any.
+    /// Advances every lane with window work — through the persistent
+    /// worker pool when more than one lane has any (and the host or an
+    /// override says parallelism pays), inline otherwise.
     fn lane_phase(&mut self, window: Window) {
         // Saturating: an effectively-uncapped run (`max_events(u64::MAX)`)
         // must yield an unbounded budget, not a wrapped-to-zero one.
@@ -581,34 +726,54 @@ impl<A: Automaton> ShardedSim<A> {
             (self.limits.max_events - self.trace.events_processed).saturating_add(1),
         )
         .unwrap_or(usize::MAX);
-        let shared = LaneShared {
-            clocks: &self.clocks,
-            signers: &self.signers,
-            verifier: &*self.verifier,
-            faulty_mask: &self.faulty_mask,
-            n: self.n,
-            lanes: self.lanes.len(),
-            horizon: self.limits.horizon,
-        };
-        let work: Vec<&mut Lane<A>> = self
+        let horizon = self.cx.horizon;
+        let work: Vec<usize> = self
             .lanes
             .iter_mut()
-            .filter(|l| {
+            .enumerate()
+            .filter_map(|(i, l)| {
                 l.queue
                     .peek_key()
-                    .is_some_and(|k| window.contains(k.at()) && k.at() <= shared.horizon)
+                    .is_some_and(|k| window.contains(k.at()) && k.at() <= horizon)
+                    .then_some(i)
             })
             .collect();
         if self.parallel && work.len() > 1 {
-            let shared = &shared;
-            std::thread::scope(|scope| {
-                for lane in work {
-                    scope.spawn(move || lane.advance(shared, window, budget));
+            // Lanes travel to their (lazily spawned, long-lived) workers
+            // by value and come back through the shared done channel;
+            // completion order is irrelevant, the reconcile merge orders
+            // by key.
+            let pool = self
+                .pool
+                .get_or_insert_with(|| WorkerPool::spawn(&self.cx, self.lanes.len()));
+            for &l in &work {
+                let lane = std::mem::replace(&mut self.lanes[l], Lane::vacant());
+                pool.jobs[l]
+                    .send(Job {
+                        lane,
+                        window,
+                        budget,
+                    })
+                    .unwrap_or_else(|_| unreachable!("lane worker exited while pool is live"));
+            }
+            for _ in 0..work.len() {
+                let (index, result) = self
+                    .pool
+                    .as_ref()
+                    .expect("pool is live")
+                    .done_rx
+                    .recv()
+                    .expect("lane workers hold the done channel open");
+                match result {
+                    Ok(lane) => self.lanes[index] = lane,
+                    // A handler panicked on a worker: surface it on the
+                    // reconcile thread, as the scoped join used to.
+                    Err(panic) => std::panic::resume_unwind(panic),
                 }
-            });
+            }
         } else {
-            for lane in work {
-                lane.advance(&shared, window, budget);
+            for l in work {
+                self.lanes[l].advance(&self.cx, window, budget);
             }
         }
     }
@@ -675,10 +840,11 @@ impl<A: Automaton> ShardedSim<A> {
             // them too. Positive-lookahead windows never need this: every
             // send travels at least the lookahead, past the window end.
             if matches!(window, Window::At(_)) {
-                for (l, lane) in self.lanes.iter().enumerate() {
+                let horizon = self.limits.horizon;
+                for (l, lane) in self.lanes.iter_mut().enumerate() {
                     if let Some(key) = lane.queue.peek_key() {
                         if window.contains(key.at())
-                            && key.at() <= self.limits.horizon
+                            && key.at() <= horizon
                             && best.as_ref().is_none_or(|(k, _)| key < *k)
                         {
                             best = Some((key, Src::Queue(l)));
@@ -800,7 +966,7 @@ impl<A: Automaton> ShardedSim<A> {
             EventKind::Deliver { from, to, msg } => {
                 self.lanes[l].delivers_popped += 1;
                 self.trace.messages_delivered += 1;
-                if self.faulty_mask[to.index()] {
+                if self.cx.faulty_mask[to.index()] {
                     if !self.adversary_passive {
                         if msg.needs_learning() {
                             self.knowledge.learn_all(msg.as_ref(), self.now);
@@ -814,7 +980,7 @@ impl<A: Automaton> ShardedSim<A> {
                 }
             }
             EventKind::Timer { node, id } => {
-                if self.lanes[l].timers.fire(id) && !self.faulty_mask[node.index()] {
+                if self.lanes[l].timers.fire(id) && !self.cx.faulty_mask[node.index()] {
                     self.run_handler_inline(node, |n, ctx| n.on_timer(id, ctx));
                 }
             }
@@ -832,17 +998,8 @@ impl<A: Automaton> ShardedSim<A> {
     where
         F: FnOnce(&mut A, &mut dyn Context<A::Msg>),
     {
-        let shared = LaneShared {
-            clocks: &self.clocks,
-            signers: &self.signers,
-            verifier: &*self.verifier,
-            faulty_mask: &self.faulty_mask,
-            n: self.n,
-            lanes: self.lanes.len(),
-            horizon: self.limits.horizon,
-        };
         let lane = v.index() % self.lanes.len();
-        let count = self.lanes[lane].run_handler(&shared, v, self.now, None, f);
+        let count = self.lanes[lane].run_handler(&self.cx, v, self.now, None, f);
         let arena = std::mem::take(&mut self.lanes[lane].arena);
         debug_assert_eq!(arena.len(), count as usize);
         self.replay_honest_effects(v, arena.into_iter(), &mut []);
@@ -854,8 +1011,8 @@ impl<A: Automaton> ShardedSim<A> {
     /// numbers match the single-lane engine step for step.
     fn schedule_honest_send(&mut self, from: NodeId, to: NodeId, msg: Payload<A::Msg>) {
         let bounds = self.link.bounds_masked(
-            self.faulty_mask[from.index()],
-            self.faulty_mask[to.index()],
+            self.cx.faulty_mask[from.index()],
+            self.cx.faulty_mask[to.index()],
         );
         let delay = if self.delay_model == DelayModel::AdversaryChoice {
             match self.adversary.pick_delay(from, to, bounds) {
@@ -899,8 +1056,8 @@ impl<A: Automaton> ShardedSim<A> {
                 n: self.n,
                 corrupted: &self.faulty,
                 signer: &self.adv_signer,
-                verifier: &*self.verifier,
-                clocks: &self.clocks,
+                verifier: &*self.cx.verifier,
+                clocks: &self.cx.clocks,
                 knowledge: &self.knowledge,
                 effects: &mut effects,
             };
@@ -937,8 +1094,8 @@ impl<A: Automaton> ShardedSim<A> {
                         continue;
                     }
                     let bounds = self.link.bounds_masked(
-                        self.faulty_mask[from.index()],
-                        self.faulty_mask[to.index()],
+                        self.cx.faulty_mask[from.index()],
+                        self.cx.faulty_mask[to.index()],
                     );
                     let delay = match delay {
                         Some(d) => {
@@ -1281,6 +1438,74 @@ mod tests {
         let (_, stats) = build(8, 6, &[7], true).sharded(3).run_with_stats();
         assert!(stats.posted > 0);
         assert_eq!(stats.posted, stats.consumed + stats.pending);
+    }
+
+    /// The persistent worker pool (forced on, so the test is meaningful
+    /// even on a single-CPU host) must produce the same trace as both the
+    /// inline sharded path and the single-lane reference engine.
+    #[test]
+    fn worker_pool_matches_inline_execution() {
+        for n in [5, 9] {
+            for seed in [0, 7] {
+                let reference = build(n, seed, &[n - 1], true).run();
+                for lanes in [2, 3] {
+                    let mut pooled = build(n, seed, &[n - 1], true).sharded(lanes);
+                    pooled.set_parallel(true);
+                    assert_traces_equal(&reference, &pooled.run());
+                    let mut inline = build(n, seed, &[n - 1], true).sharded(lanes);
+                    inline.set_parallel(false);
+                    assert_traces_equal(&reference, &inline.run());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_pool_conserves_mailboxes() {
+        let mut sim = build(8, 6, &[7], true).sharded(3);
+        sim.set_parallel(true);
+        let (_, stats) = sim.run_with_stats();
+        assert!(stats.posted > 0);
+        assert_eq!(stats.posted, stats.consumed + stats.pending);
+    }
+
+    /// A handler panicking on a worker thread must panic the run on the
+    /// reconcile thread (as the old scoped-thread join did), not hang it.
+    struct PanicsAtRoundTwo {
+        me: NodeId,
+        rounds: u64,
+    }
+
+    impl Automaton for PanicsAtRoundTwo {
+        type Msg = Token;
+
+        fn on_init(&mut self, ctx: &mut dyn Context<Token>) {
+            ctx.set_timer_at(LocalTime::from_millis(1.0));
+        }
+
+        fn on_message(&mut self, _f: NodeId, _m: Token, _ctx: &mut dyn Context<Token>) {}
+
+        fn on_timer(&mut self, _t: TimerId, ctx: &mut dyn Context<Token>) {
+            self.rounds += 1;
+            assert!(
+                !(self.me.index() == 0 && self.rounds == 2),
+                "handler panicked on purpose"
+            );
+            ctx.set_timer_at(LocalTime::from_millis(1.0 + self.rounds as f64));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "handler panicked on purpose")]
+    fn worker_pool_propagates_handler_panics() {
+        let mut sim = builder(4, 0)
+            .build(
+                |me| PanicsAtRoundTwo { me, rounds: 0 },
+                Box::new(SilentAdversary),
+            )
+            .sharded(2);
+        sim.set_parallel(true);
+        let _ = sim.run();
     }
 
     #[test]

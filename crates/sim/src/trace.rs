@@ -31,11 +31,31 @@ pub struct Trace {
     /// Under the sharded executor ([`crate::ShardedSim`]) this is the
     /// *sum* of the per-lane slab high-waters — still a valid bound on
     /// total slab memory, but an upper estimate of the single-lane value
-    /// (lanes cannot observe each other's concurrent occupancy), and the
-    /// one field of this struct that is not bit-identical across the two
-    /// executors. It is deliberately excluded from the determinism
-    /// trace hash for that reason.
+    /// (lanes cannot observe each other's concurrent occupancy), and one
+    /// of the two fields of this struct that are not bit-identical across
+    /// the two executors (the other is [`queue_spill_count`]). It is
+    /// deliberately excluded from the determinism trace hash for that
+    /// reason.
+    ///
+    /// [`queue_spill_count`]: Self::queue_spill_count
     pub timer_slots_high_water: u64,
+    /// Events that overflowed the ladder event queue's bucketed horizon
+    /// into its far-future spill heap (see `crusader_sim`'s engine
+    /// internals: the queue covers ~16 maximum-delay horizons ahead of
+    /// the pop frontier in O(1) buckets, and anything further rides a
+    /// fallback min-heap). Zero for the standard CPS scenarios — every
+    /// CPS timer fires within `T + 3S < 13d` of being armed — and pinned
+    /// there by a regression test; a persistently large value means the
+    /// workload's timer horizon dwarfs its link delay `d` and the queue
+    /// is degrading toward plain heap behaviour.
+    ///
+    /// Purely a performance diagnostic: spilling never affects event
+    /// order. Under the sharded executor it is the *sum* over the
+    /// per-lane queues, which can differ from the single-lane value
+    /// (lane frontiers advance independently), so — like
+    /// [`timer_slots_high_water`](Self::timer_slots_high_water) — it is
+    /// excluded from the determinism trace hash.
+    pub queue_spill_count: u64,
 }
 
 impl Trace {

@@ -53,6 +53,7 @@ impl Automaton for Gossip {
     }
 }
 
+#[allow(clippy::fn_params_excessive_bools)]
 fn run(
     n: usize,
     seed: u64,
@@ -60,6 +61,7 @@ fn run(
     fanout: usize,
     faulty: bool,
     max_pulses: Option<u64>,
+    pool: bool,
 ) -> (Trace, MailboxStats) {
     let mut b = SimBuilder::new(n)
         .link(Dur::from_millis(1.0), Dur::from_micros(300.0))
@@ -71,16 +73,21 @@ fn run(
     if let Some(k) = max_pulses {
         b = b.max_pulses(k);
     }
-    b.build(
-        |me| Gossip {
-            me,
-            fanout,
-            pulses: 0,
-        },
-        Box::new(SilentAdversary),
-    )
-    .sharded(lanes)
-    .run_with_stats()
+    let mut sim = b
+        .build(
+            |me| Gossip {
+                me,
+                fanout,
+                pulses: 0,
+            },
+            Box::new(SilentAdversary),
+        )
+        .sharded(lanes);
+    // Half the cases force the persistent worker pool on (it never
+    // engages by itself on a single-CPU runner), so conservation is
+    // checked across the cross-thread lane hand-off too.
+    sim.set_parallel(pool);
+    sim.run_with_stats()
 }
 
 proptest! {
@@ -96,9 +103,10 @@ proptest! {
         fanout in 0usize..4,
         faulty in 0u8..2,
         early_stop in 0u8..2,
+        pool in 0u8..2,
     ) {
         let max_pulses = (early_stop == 1).then_some(2);
-        let (trace, stats) = run(n, seed, lanes, fanout, faulty == 1, max_pulses);
+        let (trace, stats) = run(n, seed, lanes, fanout, faulty == 1, max_pulses, pool == 1);
         prop_assert_eq!(
             stats.posted,
             stats.consumed + stats.pending,
