@@ -6,6 +6,7 @@
 //! perf_snapshot --json BENCH_cps.json            # refresh the "current" section
 //! perf_snapshot --json BENCH_cps.json --section queue     # ladder-queue engine + spill
 //! perf_snapshot --json BENCH_cps.json --section sharded   # large-n, both executors
+//! perf_snapshot --json BENCH_cps.json --section runtime   # wall-clock reactor vs threads
 //! perf_snapshot --check BENCH_cps.json           # CI: fail on count drift
 //! perf_snapshot --check BENCH_cps.json --max-n 64  # CI: skip larger rows
 //! perf_snapshot --compare BENCH_cps.json         # committed speedup table, no runs
@@ -16,26 +17,34 @@
 //! * `--json PATH` — measure and write a section into `PATH`, merging
 //!   with the existing file (recording `current` preserves the committed
 //!   `baseline` and `sharded` sections, and so on).
-//! * `--section baseline|current|queue|sharded` — which section `--json`
-//!   writes. `baseline`/`current` measure the single-lane engine on the
-//!   small grid (n ∈ {4, 8, 16}); `queue` measures the same grid and
-//!   additionally records the ladder queue's deterministic
+//! * `--section baseline|current|queue|sharded|runtime` — which section
+//!   `--json` writes. `baseline`/`current` measure the single-lane
+//!   engine on the small grid (n ∈ {4, 8, 16}); `queue` measures the
+//!   same grid and additionally records the ladder queue's deterministic
 //!   `queue_spill_count` per row; `sharded` measures *both* executors on
 //!   the large grid (n ∈ {64, 128, 256}, lanes = 8), asserting their
-//!   seed-deterministic counts are identical.
+//!   seed-deterministic counts are identical; `runtime` runs the
+//!   wall-clock CPS deployments (n ∈ {64, 512, 2048}) on the reactor
+//!   backend, plus the thread backend where n OS threads is still a
+//!   reasonable thing to do (n ≤ 512) — these rows take tens of seconds
+//!   each, being real-time runs.
 //! * `--check PATH` — CI mode: replay every committed section's scenarios
 //!   and fail if `events_processed`, `messages_delivered`, or (for the
 //!   `queue` section) `spill_count` differ. Those counts are
 //!   seed-deterministic, so drift means the engine changed behaviour, not
 //!   just speed. The smallest committed sharded row is additionally
 //!   replayed with the persistent worker pool forced on, gating
-//!   pool-vs-committed count drift even on single-CPU runners.
+//!   pool-vs-committed count drift even on single-CPU runners. Committed
+//!   `runtime` rows (within `--max-n`) are replayed on the reactor and
+//!   gated on liveness/safety only (≥ 1 pulse, zero violations) — real
+//!   scheduling makes their counts and rates environment-dependent.
 //!   Wall-clock is reported (speedup vs. baseline, sharded vs.
 //!   single-lane) but never gated.
 //! * `--compare PATH` — print the committed `baseline → current → queue`
-//!   wall-clock speedup table (plus the sharded rows) from the file
-//!   alone, measuring nothing: the before/after numbers for a PR
-//!   description without hand math.
+//!   wall-clock speedup table (plus the sharded rows and the
+//!   reactor-vs-threads runtime rows) from the file alone, measuring
+//!   nothing: the before/after numbers for a PR description without
+//!   hand math.
 //! * `--max-n N` — bound the sizes measured or checked (rows above `N`
 //!   are skipped with a note); keeps the CI bench-smoke job fast by
 //!   checking the sharded section at n = 64 only.
@@ -45,10 +54,11 @@
 use std::process::ExitCode;
 
 use crusader_bench::snapshot::{
-    from_json, measure_cps, measure_cps_queue, measure_cps_sharded, plain_row,
-    replay_sharded_pool, to_json, CpsSnapshot, QueueRow, QueueSection, ShardedRow, ShardedSection,
-    SnapshotRow, SnapshotSection, CPS_SNAPSHOT_PULSES,
+    from_json, measure_cps, measure_cps_queue, measure_cps_sharded, measure_runtime, plain_row,
+    replay_sharded_pool, run_runtime, to_json, CpsSnapshot, QueueRow, QueueSection, RuntimeRow,
+    RuntimeSection, ShardedRow, ShardedSection, SnapshotRow, SnapshotSection, CPS_SNAPSHOT_PULSES,
 };
+use crusader_runtime::Backend;
 
 const DEFAULT_REPS: usize = 7;
 
@@ -98,10 +108,10 @@ fn parse_args() -> Result<Args, String> {
     }
     if !matches!(
         args.section.as_str(),
-        "baseline" | "current" | "queue" | "sharded"
+        "baseline" | "current" | "queue" | "sharded" | "runtime"
     ) {
         return Err(format!(
-            "--section must be 'baseline', 'current', 'queue' or 'sharded', got {:?}",
+            "--section must be 'baseline', 'current', 'queue', 'sharded' or 'runtime', got {:?}",
             args.section
         ));
     }
@@ -129,6 +139,45 @@ fn print_queue_rows(rows: &[QueueRow]) {
         println!(
             "| {} | {:.3} | {} | {} | {} |",
             r.n, r.wall_clock_us, r.events_processed, r.messages_delivered, r.spill_count
+        );
+    }
+}
+
+fn print_runtime_rows(rows: &[RuntimeRow]) {
+    crusader_bench::header(&[
+        "n",
+        "core",
+        "silent",
+        "run_s",
+        "reactor pulses",
+        "reactor msg/s",
+        "reactor viol",
+        "threads pulses",
+        "threads msg/s",
+        "threads viol",
+    ]);
+    for r in rows {
+        let (tp, tm, tv) = if r.threads_attempted == 1 {
+            (
+                r.threads_pulses.to_string(),
+                format!("{:.0}", r.threads_msgs_per_sec),
+                r.threads_violations.to_string(),
+            )
+        } else {
+            ("-".to_owned(), "-".to_owned(), "-".to_owned())
+        };
+        println!(
+            "| {} | {} | {} | {:.1} | {} | {:.0} | {} | {} | {} | {} |",
+            r.n,
+            r.core,
+            r.silent,
+            r.run_secs,
+            r.reactor_pulses,
+            r.reactor_msgs_per_sec,
+            r.violations,
+            tp,
+            tm,
+            tv
         );
     }
 }
@@ -176,7 +225,26 @@ fn record(args: &Args, path: &str) -> ExitCode {
         }
     };
     snap.pulses = CPS_SNAPSHOT_PULSES;
-    if args.section == "sharded" {
+    if args.section == "runtime" {
+        let mut rows = measure_runtime(args.max_n, None);
+        print_runtime_rows(&rows);
+        // With --max-n, keep any committed rows above the cap rather than
+        // silently dropping them from the file.
+        if let (Some(cap), Some(existing)) = (args.max_n, &snap.runtime) {
+            for kept in existing.rows.iter().filter(|r| r.n > cap) {
+                println!("keeping committed runtime n={} (over --max-n)", kept.n);
+                rows.push(kept.clone());
+            }
+            rows.sort_by_key(|r| r.n);
+        }
+        snap.runtime = Some(RuntimeSection {
+            label: args
+                .label
+                .clone()
+                .unwrap_or_else(|| "wall-clock runtime: reactor vs threads".to_owned()),
+            rows,
+        });
+    } else if args.section == "sharded" {
         let mut rows = measure_cps_sharded(args.reps, args.max_n);
         print_sharded_rows(&rows);
         // With --max-n, keep any committed rows above the cap rather than
@@ -376,6 +444,37 @@ fn check(args: &Args, path: &str) -> ExitCode {
             }
         }
     }
+    if let Some(runtime) = &snap.runtime {
+        // Wall-clock runs are scheduling-dependent, so rates are never
+        // gated; what must hold anywhere is liveness and safety — a
+        // reactor replay of each in-bounds row completes at least one
+        // pulse with zero violations.
+        for committed in &runtime.rows {
+            if args.max_n.is_some_and(|cap| committed.n > cap) {
+                println!("skipping runtime n={} (over --max-n)", committed.n);
+                continue;
+            }
+            let outcome = run_runtime(committed.n, Backend::Reactor, None);
+            println!(
+                "runtime replay at n={}: {} pulses, {:.0} msgs/sec, {} violations",
+                committed.n,
+                outcome.pulses,
+                outcome.messages as f64 / outcome.run_secs,
+                outcome.violations.len()
+            );
+            if outcome.pulses < 1 || !outcome.violations.is_empty() {
+                eprintln!(
+                    "DRIFT: n={} runtime replay on the reactor backend completed {} pulses \
+                     with {} violations (need ≥ 1 pulse, 0 violations): {:?}",
+                    committed.n,
+                    outcome.pulses,
+                    outcome.violations.len(),
+                    outcome.violations.first()
+                );
+                drift = true;
+            }
+        }
+    }
     if let Some(baseline) = &snap.baseline {
         println!("\nwall-clock vs committed baseline (informational, not gated):");
         for committed in &baseline.rows {
@@ -395,7 +494,7 @@ fn check(args: &Args, path: &str) -> ExitCode {
         eprintln!(
             "(if the change is intentional, re-record every committed section: \
              --json {path} --section baseline, then --section current, then \
-             --section queue, then --section sharded)"
+             --section queue, then --section sharded, then --section runtime)"
         );
         ExitCode::FAILURE
     } else {
@@ -467,6 +566,38 @@ fn compare(path: &str) -> ExitCode {
         println!("\ncommitted sharded rows ({}):\n", sharded.label);
         print_sharded_rows(&sharded.rows);
     }
+    if let Some(runtime) = &snap.runtime {
+        println!("\ncommitted runtime rows ({}):\n", runtime.label);
+        print_runtime_rows(&runtime.rows);
+        println!("\nreactor vs threads at matched n (committed, informational):");
+        for r in &runtime.rows {
+            if r.threads_attempted == 1 {
+                let speedup = if r.threads_msgs_per_sec > 0.0 {
+                    format!("{:.2}x msg throughput", r.reactor_msgs_per_sec / r.threads_msgs_per_sec)
+                } else {
+                    "-".to_owned()
+                };
+                println!(
+                    "  n={:>4}: reactor {} pulses / {:.0} msg/s / {} violations vs threads \
+                     {} pulses / {:.0} msg/s / {} violations  ({})",
+                    r.n,
+                    r.reactor_pulses,
+                    r.reactor_msgs_per_sec,
+                    r.violations,
+                    r.threads_pulses,
+                    r.threads_msgs_per_sec,
+                    r.threads_violations,
+                    speedup
+                );
+            } else {
+                println!(
+                    "  n={:>4}: reactor {} pulses / {:.0} msg/s; threads not attempted \
+                     (n OS threads past the practical limit)",
+                    r.n, r.reactor_pulses, r.reactor_msgs_per_sec
+                );
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -476,7 +607,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: perf_snapshot [--json PATH [--section baseline|current|queue|sharded] \
+                "usage: perf_snapshot [--json PATH [--section baseline|current|queue|sharded|runtime] \
                  [--label TEXT]] [--check PATH] [--compare PATH] [--reps N] [--max-n N]"
             );
             return ExitCode::FAILURE;
@@ -487,7 +618,9 @@ fn main() -> ExitCode {
         (None, Some(path), None) => check(&args, &path),
         (None, None, Some(path)) => compare(&path),
         (None, None, None) => {
-            if args.section == "sharded" {
+            if args.section == "runtime" {
+                print_runtime_rows(&measure_runtime(args.max_n, None));
+            } else if args.section == "sharded" {
                 print_sharded_rows(&measure_cps_sharded(args.reps, args.max_n));
             } else if args.section == "queue" {
                 print_queue_rows(&measure_cps_queue(args.reps));

@@ -2,11 +2,13 @@
 //! reproduction report. Each experiment also asserts its own
 //! invariants, so a clean exit is itself a reproduction result.
 //!
-//! Accepts the shared `--n`/`--lanes` overrides and forwards each flag
-//! only to the binaries that support it: the synchronous/sampled
-//! experiments (`e5`, `e6`, `a2`) take `--n` but have no event lanes,
-//! and the Theorem 5 tri-execution (`e7`) is fixed at n = 3 — those run
-//! at their defaults rather than failing the whole report.
+//! Accepts the shared `--n`/`--lanes`/`--backend`/`--workers` overrides
+//! and forwards each flag only to the binaries that support it: the
+//! synchronous/sampled experiments (`e5`, `e6`, `a2`) take `--n` but
+//! have no event lanes, the Theorem 5 tri-execution (`e7`) is fixed at
+//! n = 3, and only the wall-clock runtime experiment (`e10`) knows what
+//! a backend is — the rest run at their defaults rather than failing
+//! the whole report.
 
 use std::process::Command;
 
@@ -17,30 +19,38 @@ struct Experiment {
     name: &'static str,
     takes_n: bool,
     takes_lanes: bool,
+    takes_backend: bool,
 }
 
-const fn exp(name: &'static str, takes_n: bool, takes_lanes: bool) -> Experiment {
+const fn exp(
+    name: &'static str,
+    takes_n: bool,
+    takes_lanes: bool,
+    takes_backend: bool,
+) -> Experiment {
     Experiment {
         name,
         takes_n,
         takes_lanes,
+        takes_backend,
     }
 }
 
 fn main() {
     let args = SimArgs::parse_or_exit();
     let experiments = [
-        exp("e1_skew_vs_u", true, true),
-        exp("e2_skew_vs_theta", true, true),
-        exp("e3_resilience", true, true),
-        exp("e4_periods", true, true),
-        exp("e5_apa", true, false),
-        exp("e6_tcb", true, false),
-        exp("e7_lower_bound", false, false),
-        exp("e8_baselines", true, true),
-        exp("e9_rushing", true, true),
-        exp("a1_ablation_no_reject", true, true),
-        exp("a2_ablation_midpoint", true, false),
+        exp("e1_skew_vs_u", true, true, false),
+        exp("e2_skew_vs_theta", true, true, false),
+        exp("e3_resilience", true, true, false),
+        exp("e4_periods", true, true, false),
+        exp("e5_apa", true, false, false),
+        exp("e6_tcb", true, false, false),
+        exp("e7_lower_bound", false, false, false),
+        exp("e8_baselines", true, true, false),
+        exp("e9_rushing", true, true, false),
+        exp("e10_runtime_scale", true, false, true),
+        exp("a1_ablation_no_reject", true, true, false),
+        exp("a2_ablation_midpoint", true, false, false),
     ];
     let mut failures = 0;
     for e in &experiments {
@@ -58,6 +68,26 @@ fn main() {
                 forwarded.extend(["--lanes".to_owned(), lanes.to_string()]);
             } else {
                 println!("({}: --lanes not supported, running single-lane)", e.name);
+            }
+        }
+        if let Some(backend) = args.backend {
+            if e.takes_backend {
+                forwarded.extend(["--backend".to_owned(), backend.to_string()]);
+            } else {
+                println!(
+                    "({}: --backend not supported, simulator experiment)",
+                    e.name
+                );
+            }
+        }
+        if let Some(workers) = args.workers {
+            if e.takes_backend {
+                forwarded.extend(["--workers".to_owned(), workers.to_string()]);
+            } else {
+                println!(
+                    "({}: --workers not supported, simulator experiment)",
+                    e.name
+                );
             }
         }
         // Prefer the sibling binary when it has been built; fall back to

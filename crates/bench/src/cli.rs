@@ -28,8 +28,20 @@
 //! ([`SimArgs::resolve_n_structural`]) where no link/clock parameters
 //! exist to derive Theorem 17 feasibility from. `run_all` forwards each
 //! flag only to the binaries that support it.
+//!
+//! The wall-clock runtime's scale binary (`e10_runtime_scale`) adds two
+//! flags of its own:
+//!
+//! * `--backend threads|reactor` — which runtime executor drives the
+//!   nodes ([`crusader_runtime::Backend`]);
+//! * `--workers W` — reactor worker-thread count (defaults to
+//!   `available_parallelism()`).
+//!
+//! Simulator binaries reject both ([`SimArgs::reject_backend`]) — a
+//! deterministic simulation has no wall-clock backend to select.
 
 use crusader_core::{max_faults_with_signatures, Params};
+use crusader_runtime::Backend;
 use crusader_time::Dur;
 
 /// Parsed experiment-binary overrides.
@@ -39,6 +51,13 @@ pub struct SimArgs {
     pub n: Option<usize>,
     /// `--lanes`: requested lane count (`None` keeps single-lane).
     pub lanes: Option<usize>,
+    /// `--backend`: which wall-clock runtime executor to use (`None`
+    /// keeps the binary's default). Only meaningful for runtime-facing
+    /// binaries; simulator binaries reject it.
+    pub backend: Option<Backend>,
+    /// `--workers`: reactor worker-thread count (`None` means
+    /// `available_parallelism()`). Runtime-facing binaries only.
+    pub workers: Option<usize>,
 }
 
 impl SimArgs {
@@ -67,11 +86,24 @@ impl SimArgs {
                             .map_err(|e| format!("--lanes: {e}"))?,
                     );
                 }
+                "--backend" => {
+                    args.backend = Some(value("--backend")?.parse::<Backend>()?);
+                }
+                "--workers" => {
+                    args.workers = Some(
+                        value("--workers")?
+                            .parse()
+                            .map_err(|e| format!("--workers: {e}"))?,
+                    );
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
         if args.lanes == Some(0) {
             return Err("--lanes must be at least 1".to_owned());
+        }
+        if args.workers == Some(0) {
+            return Err("--workers must be at least 1".to_owned());
         }
         Ok(args)
     }
@@ -83,7 +115,9 @@ impl SimArgs {
             Ok(args) => args,
             Err(e) => {
                 eprintln!("error: {e}");
-                eprintln!("usage: [--n N] [--lanes L]");
+                eprintln!(
+                    "usage: [--n N] [--lanes L] [--backend threads|reactor] [--workers W]"
+                );
                 std::process::exit(2);
             }
         }
@@ -152,6 +186,20 @@ impl SimArgs {
     pub fn reject_lanes(&self, why: &str) {
         if self.lanes.is_some() {
             eprintln!("error: --lanes is not supported by this experiment: {why}");
+            std::process::exit(2);
+        }
+    }
+
+    /// For experiments that never touch the wall-clock runtime: reject an
+    /// explicit `--backend`/`--workers` with `why` instead of silently
+    /// ignoring it (same discipline as [`reject_lanes`](Self::reject_lanes)).
+    pub fn reject_backend(&self, why: &str) {
+        if self.backend.is_some() {
+            eprintln!("error: --backend is not supported by this experiment: {why}");
+            std::process::exit(2);
+        }
+        if self.workers.is_some() {
+            eprintln!("error: --workers is not supported by this experiment: {why}");
             std::process::exit(2);
         }
     }

@@ -20,6 +20,16 @@
 //!   scenario through both the single-lane and the sharded executor,
 //!   asserts their event/message counts identical, and records both wall
 //!   clocks — committing the lanes > 1 speedup as a diffable fact;
+//! * the `runtime` section (`... --section runtime`, schema v4) is the
+//!   wall-clock runtime's scale axis: CPS deployments at
+//!   n ∈ {64, 512, 2048} on the event-driven `reactor` backend
+//!   ([`crusader_runtime::Backend::Reactor`]), recording completed
+//!   pulses, pulses/sec and messages/sec, plus the thread-per-node
+//!   backend's numbers at the sizes where spawning that many OS threads
+//!   is still reasonable (n ≤ 512) for the reactor-vs-threads
+//!   comparison. Real scheduling makes these rows *non*-deterministic,
+//!   so `--check` gates liveness and safety (≥ 1 completed pulse, zero
+//!   violations on a reactor replay), never counts or wall-clock;
 //! * CI replays the scenarios and fails if `events_processed` /
 //!   `messages_delivered` drift from the committed counts
 //!   (`perf_snapshot --check BENCH_cps.json`, optionally bounded by
@@ -29,6 +39,21 @@
 //!   ([`Scenario::force_parallel`](crate::Scenario)), gating
 //!   pool-vs-single count drift even on single-CPU runners.
 //!
+//! # Why the large runtime rows are one-to-many deployments
+//!
+//! Full-mesh CPS costs `Θ(h²·n)` deliveries per round (h honest nodes
+//! each echo-broadcast every honest dealer's direct message): at
+//! n = 2048 with maximum silent faults that is ≈ 2 × 10⁹ deliveries per
+//! pulse — physically impossible on any single host, independent of the
+//! executor. The scale rows therefore deploy the SecureTime-style
+//! one-to-many fleet ([`crusader_core::FleetNode`]): a core of
+//! [`RUNTIME_CORE`] full CPS participants plus listen-only
+//! [`crusader_core::PulseClient`]s, costing `Θ(core²·n)` per round —
+//! linear in the client population, which is the whole point of that
+//! deployment model. The n = 64 row stays a full mesh (core = n, max
+//! silent faults) so the backends are also compared on the paper's
+//! original workload.
+//!
 //! [`Trace::queue_spill_count`]: crusader_sim::Trace::queue_spill_count
 //!
 //! The vendored `serde` stand-in has no data-format backend
@@ -36,8 +61,12 @@
 //! exactly this schema and a minimal recursive-descent reader.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use crusader_core::{CpsNode, FleetNode, Params, PulseClient};
+use crusader_crypto::NodeId;
+use crusader_runtime::{Backend, RuntimeConfig};
+use crusader_sim::metrics::pulse_stats;
 use crusader_sim::SilentAdversary;
 use crusader_time::Dur;
 
@@ -58,10 +87,29 @@ pub const CPS_SHARDED_LANES: usize = 8;
 /// Pulses per measured run (mirrors the `cps_sim` criterion bench).
 pub const CPS_SNAPSHOT_PULSES: u64 = 8;
 
+/// System sizes measured by the wall-clock `runtime` section.
+pub const RUNTIME_SNAPSHOT_NS: &[usize] = &[64, 512, 2048];
+
+/// Core size of the one-to-many fleet rows (n > [`RUNTIME_MESH_MAX_N`]):
+/// a CPS core of this many dealers serves pulses to `n − core`
+/// listen-only clients. See the [module docs](self) for why the large
+/// rows cannot be full meshes.
+pub const RUNTIME_CORE: usize = 32;
+
+/// Largest runtime row run as a full CPS mesh (core = n, max silent
+/// faults) rather than a core-plus-clients fleet.
+pub const RUNTIME_MESH_MAX_N: usize = 64;
+
+/// Largest runtime row where the thread-per-node backend is also
+/// measured for the comparison column; beyond this, spawning n OS
+/// threads is the failure mode the reactor exists to avoid, and the row
+/// records the reactor only.
+pub const RUNTIME_THREADS_MAX_N: usize = 512;
+
 /// Schema tag written into the file, bumped on layout changes (v2 added
 /// the `sharded` section; v3 the `queue` section with per-row
-/// `spill_count`).
-pub const SCHEMA: &str = "crusader-bench-cps/v3";
+/// `spill_count`; v4 the wall-clock `runtime` section).
+pub const SCHEMA: &str = "crusader-bench-cps/v4";
 
 /// One measured row: a full `run_cps` at system size `n`.
 #[derive(Clone, Debug, PartialEq)]
@@ -140,6 +188,53 @@ pub struct QueueSection {
     pub rows: Vec<QueueRow>,
 }
 
+/// One wall-clock runtime measurement: a CPS deployment at system size
+/// `n` on the reactor backend (and, where still reasonable, the thread
+/// backend for comparison). Real scheduling makes the numbers
+/// environment-dependent: `--check` gates only liveness (≥ 1 pulse) and
+/// safety (zero violations), never rates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuntimeRow {
+    /// System size (total nodes hosted by the runtime).
+    pub n: usize,
+    /// CPS core size; `core == n` means a full mesh with maximum silent
+    /// faults, `core < n` a one-to-many fleet (`n − core` clients).
+    pub core: usize,
+    /// Crashed-from-start nodes (mesh rows only).
+    pub silent: usize,
+    /// Reactor worker threads (0 = `available_parallelism()`).
+    pub workers: usize,
+    /// Configured wall-clock run length in seconds.
+    pub run_secs: f64,
+    /// Pulses completed by every active node on the reactor backend.
+    pub reactor_pulses: u64,
+    /// Network deliveries per second on the reactor backend.
+    pub reactor_msgs_per_sec: f64,
+    /// Whether the thread backend was measured at this size (0/1; the
+    /// hand-rolled JSON codec has no booleans or nulls).
+    pub threads_attempted: u64,
+    /// Pulses completed on the thread backend (0 when not attempted).
+    pub threads_pulses: u64,
+    /// Network deliveries per second on the thread backend.
+    pub threads_msgs_per_sec: f64,
+    /// Violations recorded by the thread backend's run — *not* gated:
+    /// committed evidence of where thread-per-node stops being a viable
+    /// deployment (e.g. whole core rounds blowing the fault budget at
+    /// n = 512 on a small host).
+    pub threads_violations: u64,
+    /// Violations recorded by the reactor run; gated to 0 by `--check`.
+    pub violations: u64,
+}
+
+/// The `runtime` section: the wall-clock scale axis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuntimeSection {
+    /// Human-readable provenance.
+    pub label: String,
+    /// One row per measured system size.
+    pub rows: Vec<RuntimeRow>,
+}
+
 /// The whole `BENCH_cps.json` document.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct CpsSnapshot {
@@ -153,6 +248,8 @@ pub struct CpsSnapshot {
     pub queue: Option<QueueSection>,
     /// Large-`n` sharded-vs-single comparison rows.
     pub sharded: Option<ShardedSection>,
+    /// Wall-clock runtime rows (reactor vs threads).
+    pub runtime: Option<RuntimeSection>,
 }
 
 /// The scenario measured for row `n` — one place, so the snapshot, the
@@ -312,84 +409,264 @@ pub fn measure_cps_sharded(reps: usize, max_n: Option<usize>) -> Vec<ShardedRow>
         .collect()
 }
 
+/// The wall-clock deployment measured for runtime row `n` — one place,
+/// so the snapshot, the `e10_runtime_scale` experiment binary, and the
+/// CI smoke step cannot drift apart. Returns the runtime config (with
+/// the backend left at its default, to be overridden by the caller),
+/// the core size, and the core's protocol parameters.
+///
+/// `d`/`u` scale with `n` so each round's `Θ(core²·n)` delivery volume
+/// fits inside a round period even on a small host — the same
+/// "host jitter inflates `u`" reality documented by `crusader_runtime`,
+/// applied to throughput.
+///
+/// # Panics
+///
+/// Panics if `n` has no feasible configuration (not in the supported
+/// grid shape).
+#[must_use]
+pub fn runtime_scenario(n: usize) -> (RuntimeConfig, usize, Params) {
+    // Margins must dwarf the host's per-round processing hump: a full
+    // mesh round is Θ(h²·n) deliveries arriving within one `u` window,
+    // which on a small host is tens of milliseconds of solid CPU —
+    // protocol deadlines (`decide_wait = d − 2u`, the post-accept slack
+    // `T − accept_window`) have to leave room for it, so the timescales
+    // grow with the per-round volume.
+    let (core, d_ms, u_ms, run_ms) = if n <= RUNTIME_MESH_MAX_N {
+        (n, 120.0, 40.0, 3_500)
+    } else if n <= RUNTIME_THREADS_MAX_N {
+        (RUNTIME_CORE, 250.0, 80.0, 8_000)
+    } else {
+        (RUNTIME_CORE, 900.0, 300.0, 25_000)
+    };
+    let d = Dur::from_millis(d_ms);
+    let u = Dur::from_millis(u_ms);
+    let theta = 1.01;
+    let params = Params::max_resilience(core, d, u, theta);
+    let derived = params.derive().expect("runtime grid params feasible");
+    // Mesh rows crash the maximum fault budget; fleet rows keep every
+    // core dealer honest (clients are not counted against f).
+    let silent: Vec<usize> = if core == n {
+        (n - params.f..n).collect()
+    } else {
+        Vec::new()
+    };
+    let cfg = RuntimeConfig {
+        n,
+        silent,
+        d,
+        u,
+        theta,
+        max_offset: derived.s,
+        run_for: Duration::from_millis(run_ms),
+        seed: 0xCAFE ^ (n as u64),
+        backend: Backend::Reactor,
+        workers: None,
+    };
+    (cfg, core, params)
+}
+
+/// Outcome of one wall-clock runtime run.
+#[derive(Clone, Debug)]
+pub struct RuntimeOutcome {
+    /// Pulses completed by every active node.
+    pub pulses: u64,
+    /// Network deliveries.
+    pub messages: u64,
+    /// Violations recorded by any node (must be empty for a healthy
+    /// deployment; the text says which bound broke and where).
+    pub violations: Vec<String>,
+    /// Configured run length in seconds.
+    pub run_secs: f64,
+}
+
+/// Runs the runtime scenario for size `n` on `backend` and summarizes.
+#[must_use]
+pub fn run_runtime(n: usize, backend: Backend, workers: Option<usize>) -> RuntimeOutcome {
+    let (mut cfg, core, params) = runtime_scenario(n);
+    cfg.backend = backend;
+    cfg.workers = workers;
+    let derived = params.derive().expect("validated by runtime_scenario");
+    let silent = cfg.silent.clone();
+    let report = crusader_runtime::run(&cfg, move |me| {
+        if me.index() < core {
+            FleetNode::Core(Box::new(CpsNode::new(me, params, derived)))
+        } else {
+            FleetNode::Client(PulseClient::new(core, params.f))
+        }
+    });
+    let active: Vec<NodeId> = (0..n)
+        .filter(|i| !silent.contains(i))
+        .map(NodeId::new)
+        .collect();
+    let stats = pulse_stats(&report.trace, &active);
+    RuntimeOutcome {
+        pulses: stats.complete_pulses as u64,
+        messages: report.messages_delivered,
+        violations: report.trace.violations,
+        run_secs: cfg.run_for.as_secs_f64(),
+    }
+}
+
+/// Measures every size in [`RUNTIME_SNAPSHOT_NS`] at or below `max_n`:
+/// the reactor backend always, the thread backend additionally up to
+/// [`RUNTIME_THREADS_MAX_N`]. One run per backend per size — these are
+/// wall-clock deployments lasting seconds each, and the numbers are
+/// environment-dependent by nature (rates, not gates).
+#[must_use]
+pub fn measure_runtime(max_n: Option<usize>, workers: Option<usize>) -> Vec<RuntimeRow> {
+    RUNTIME_SNAPSHOT_NS
+        .iter()
+        .filter(|&&n| max_n.is_none_or(|cap| n <= cap))
+        .map(|&n| {
+            let (cfg, core, params) = runtime_scenario(n);
+            let reactor = run_runtime(n, Backend::Reactor, workers);
+            let threads = (n <= RUNTIME_THREADS_MAX_N)
+                .then(|| run_runtime(n, Backend::Threads, None));
+            RuntimeRow {
+                n,
+                core,
+                silent: cfg.silent.len(),
+                workers: workers.unwrap_or(0),
+                run_secs: reactor.run_secs,
+                reactor_pulses: reactor.pulses,
+                reactor_msgs_per_sec: reactor.messages as f64 / reactor.run_secs,
+                threads_attempted: u64::from(threads.is_some()),
+                threads_pulses: threads.as_ref().map_or(0, |t| t.pulses),
+                threads_msgs_per_sec: threads
+                    .as_ref()
+                    .map_or(0.0, |t| t.messages as f64 / t.run_secs),
+                threads_violations: threads
+                    .as_ref()
+                    .map_or(0, |t| t.violations.len() as u64),
+                violations: reactor.violations.len() as u64,
+            }
+            .validate(params.f)
+        })
+        .collect()
+}
+
+impl RuntimeRow {
+    /// Sanity net under `--json`: a recorded row must itself be live and
+    /// violation-free, or the committed file would gate CI on a broken
+    /// scenario.
+    fn validate(self, _f: usize) -> Self {
+        assert!(
+            self.reactor_pulses >= 1,
+            "runtime row n={} completed no pulses on the reactor",
+            self.n
+        );
+        assert_eq!(
+            self.violations, 0,
+            "runtime row n={} recorded violations",
+            self.n
+        );
+        self
+    }
+}
+
 /// Serializes a snapshot to the committed JSON layout.
 #[must_use]
 pub fn to_json(snap: &CpsSnapshot) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
-    let _ = writeln!(out, "  \"pulses\": {},", snap.pulses);
-    let sections: Vec<(&str, &SnapshotSection)> = [
+    // Each section is rendered to its own block; the joiner owns the
+    // commas, so adding a section can never mis-terminate another.
+    fn section_block<R>(name: &str, label: &str, rows: &[R], row: impl Fn(&R) -> String) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "  \"{name}\": {{");
+        let _ = writeln!(out, "    \"label\": \"{}\",", escape(label));
+        out.push_str("    \"rows\": [\n");
+        for (j, r) in rows.iter().enumerate() {
+            let _ = write!(out, "      {}", row(r));
+            out.push_str(if j + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("    ]\n  }");
+        out
+    }
+    let mut blocks: Vec<String> = Vec::new();
+    for (name, section) in [
         ("baseline", snap.baseline.as_ref()),
         ("current", snap.current.as_ref()),
-    ]
-    .into_iter()
-    .filter_map(|(name, s)| s.map(|s| (name, s)))
-    .collect();
-    for (i, (name, section)) in sections.iter().enumerate() {
-        let _ = writeln!(out, "  \"{name}\": {{");
-        let _ = writeln!(out, "    \"label\": \"{}\",", escape(&section.label));
-        out.push_str("    \"rows\": [\n");
-        for (j, row) in section.rows.iter().enumerate() {
-            let _ = write!(
-                out,
-                "      {{\"n\": {}, \"wall_clock_us\": {:.3}, \
-                 \"events_processed\": {}, \"messages_delivered\": {}}}",
-                row.n, row.wall_clock_us, row.events_processed, row.messages_delivered
-            );
-            out.push_str(if j + 1 < section.rows.len() { ",\n" } else { "\n" });
+    ] {
+        if let Some(section) = section {
+            blocks.push(section_block(name, &section.label, &section.rows, |row| {
+                format!(
+                    "{{\"n\": {}, \"wall_clock_us\": {:.3}, \
+                     \"events_processed\": {}, \"messages_delivered\": {}}}",
+                    row.n, row.wall_clock_us, row.events_processed, row.messages_delivered
+                )
+            }));
         }
-        out.push_str("    ]\n");
-        out.push_str(
-            if i + 1 < sections.len() || snap.queue.is_some() || snap.sharded.is_some() {
-                "  },\n"
-            } else {
-                "  }\n"
-            },
-        );
     }
     if let Some(queue) = &snap.queue {
-        out.push_str("  \"queue\": {\n");
-        let _ = writeln!(out, "    \"label\": \"{}\",", escape(&queue.label));
-        out.push_str("    \"rows\": [\n");
-        for (j, row) in queue.rows.iter().enumerate() {
-            let _ = write!(
-                out,
-                "      {{\"n\": {}, \"wall_clock_us\": {:.3}, \"events_processed\": {}, \
+        blocks.push(section_block("queue", &queue.label, &queue.rows, |row| {
+            format!(
+                "{{\"n\": {}, \"wall_clock_us\": {:.3}, \"events_processed\": {}, \
                  \"messages_delivered\": {}, \"spill_count\": {}}}",
                 row.n,
                 row.wall_clock_us,
                 row.events_processed,
                 row.messages_delivered,
                 row.spill_count
-            );
-            out.push_str(if j + 1 < queue.rows.len() { ",\n" } else { "\n" });
-        }
-        out.push_str("    ]\n");
-        out.push_str(if snap.sharded.is_some() { "  },\n" } else { "  }\n" });
+            )
+        }));
     }
     if let Some(sharded) = &snap.sharded {
-        out.push_str("  \"sharded\": {\n");
-        let _ = writeln!(out, "    \"label\": \"{}\",", escape(&sharded.label));
-        out.push_str("    \"rows\": [\n");
-        for (j, row) in sharded.rows.iter().enumerate() {
-            let _ = write!(
-                out,
-                "      {{\"n\": {}, \"lanes\": {}, \"wall_clock_single_us\": {:.3}, \
-                 \"wall_clock_sharded_us\": {:.3}, \"events_processed\": {}, \
-                 \"messages_delivered\": {}}}",
-                row.n,
-                row.lanes,
-                row.wall_clock_single_us,
-                row.wall_clock_sharded_us,
-                row.events_processed,
-                row.messages_delivered
-            );
-            out.push_str(if j + 1 < sharded.rows.len() { ",\n" } else { "\n" });
-        }
-        out.push_str("    ]\n  }\n");
+        blocks.push(section_block(
+            "sharded",
+            &sharded.label,
+            &sharded.rows,
+            |row| {
+                format!(
+                    "{{\"n\": {}, \"lanes\": {}, \"wall_clock_single_us\": {:.3}, \
+                     \"wall_clock_sharded_us\": {:.3}, \"events_processed\": {}, \
+                     \"messages_delivered\": {}}}",
+                    row.n,
+                    row.lanes,
+                    row.wall_clock_single_us,
+                    row.wall_clock_sharded_us,
+                    row.events_processed,
+                    row.messages_delivered
+                )
+            },
+        ));
     }
-    out.push_str("}\n");
+    if let Some(runtime) = &snap.runtime {
+        blocks.push(section_block(
+            "runtime",
+            &runtime.label,
+            &runtime.rows,
+            |row| {
+                format!(
+                    "{{\"n\": {}, \"core\": {}, \"silent\": {}, \"workers\": {}, \
+                     \"run_secs\": {:.3}, \"reactor_pulses\": {}, \
+                     \"reactor_msgs_per_sec\": {:.1}, \"threads_attempted\": {}, \
+                     \"threads_pulses\": {}, \"threads_msgs_per_sec\": {:.1}, \
+                     \"threads_violations\": {}, \"violations\": {}}}",
+                    row.n,
+                    row.core,
+                    row.silent,
+                    row.workers,
+                    row.run_secs,
+                    row.reactor_pulses,
+                    row.reactor_msgs_per_sec,
+                    row.threads_attempted,
+                    row.threads_pulses,
+                    row.threads_msgs_per_sec,
+                    row.threads_violations,
+                    row.violations
+                )
+            },
+        ));
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = write!(out, "  \"pulses\": {}", snap.pulses);
+    for block in blocks {
+        out.push_str(",\n");
+        out.push_str(&block);
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -476,6 +753,37 @@ pub fn from_json(text: &str) -> Result<CpsSnapshot, String> {
             })
             .collect::<Result<Vec<_>, String>>()?;
         snap.sharded = Some(ShardedSection {
+            label: get(section, "label")?.as_str()?.to_owned(),
+            rows,
+        });
+    }
+    if let Some((_, section)) = top.iter().find(|(k, _)| k == "runtime") {
+        let section = section.as_object()?;
+        let rows = get(section, "rows")?
+            .as_array()?
+            .iter()
+            .map(|row| {
+                let row = row.as_object()?;
+                let uint = |key: &str| -> Result<usize, String> {
+                    usize::try_from(get(row, key)?.as_u64()?).map_err(|e| e.to_string())
+                };
+                Ok(RuntimeRow {
+                    n: uint("n")?,
+                    core: uint("core")?,
+                    silent: uint("silent")?,
+                    workers: uint("workers")?,
+                    run_secs: get(row, "run_secs")?.as_f64()?,
+                    reactor_pulses: get(row, "reactor_pulses")?.as_u64()?,
+                    reactor_msgs_per_sec: get(row, "reactor_msgs_per_sec")?.as_f64()?,
+                    threads_attempted: get(row, "threads_attempted")?.as_u64()?,
+                    threads_pulses: get(row, "threads_pulses")?.as_u64()?,
+                    threads_msgs_per_sec: get(row, "threads_msgs_per_sec")?.as_f64()?,
+                    threads_violations: get(row, "threads_violations")?.as_u64()?,
+                    violations: get(row, "violations")?.as_u64()?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        snap.runtime = Some(RuntimeSection {
             label: get(section, "label")?.as_str()?.to_owned(),
             rows,
         });
@@ -717,7 +1025,35 @@ mod tests {
             current: None,
             queue: None,
             sharded: None,
+            runtime: None,
         }
+    }
+
+    fn sample_runtime_section() -> RuntimeSection {
+        RuntimeSection {
+            label: "reactor vs threads".to_owned(),
+            rows: vec![RuntimeRow {
+                n: 512,
+                core: 32,
+                silent: 0,
+                workers: 0,
+                run_secs: 4.0,
+                reactor_pulses: 4,
+                reactor_msgs_per_sec: 123_456.7,
+                threads_attempted: 1,
+                threads_pulses: 3,
+                threads_msgs_per_sec: 98_765.4,
+                threads_violations: 64,
+                violations: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_with_runtime_section() {
+        let mut snap = sample();
+        snap.runtime = Some(sample_runtime_section());
+        assert_eq!(from_json(&to_json(&snap)).unwrap(), snap);
     }
 
     #[test]
@@ -769,6 +1105,7 @@ mod tests {
                 messages_delivered: 6,
             }],
         });
+        snap.runtime = Some(sample_runtime_section());
         assert_eq!(from_json(&to_json(&snap)).unwrap(), snap);
     }
 

@@ -62,6 +62,7 @@
 pub mod adversary;
 pub mod apa;
 pub mod cb;
+pub mod client;
 pub mod cps;
 pub mod messages;
 pub mod midpoint;
@@ -70,6 +71,7 @@ pub mod tcb;
 
 pub use apa::{iterations_for, ApaMsg, ApaNode};
 pub use cb::{CbNode, CbOutput, SignedValue, Value};
+pub use client::{FleetNode, PulseClient};
 pub use cps::CpsNode;
 pub use messages::{
     pulse_sign_bytes, pulse_sign_bytes_array, pulse_sign_bytes_cached, Carry,

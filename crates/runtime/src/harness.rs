@@ -1,3 +1,7 @@
+//! Run configuration, backend dispatch, and report assembly.
+
+use std::collections::BTreeSet;
+use std::str::FromStr;
 use std::sync::{Arc, Barrier, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -5,13 +9,59 @@ use crossbeam::channel;
 use crusader_crypto::{KeyRing, NodeId};
 use crusader_sim::{Automaton, Trace};
 use crusader_time::{Dur, Time};
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::clock::EmulatedClock;
 use crate::net::{NetCommand, Network, NodeEvent};
-use crate::node::node_loop;
+use crate::node::{node_loop, NodeCore};
+use crate::reactor;
+
+/// Which executor drives the node automatons.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// One OS thread per node (the original deployment path). Simple and
+    /// latency-faithful, but the OS scheduler caps it at a few hundred
+    /// nodes of useful scale.
+    #[default]
+    Threads,
+    /// The event-driven worker-pool reactor: N node tasks multiplexed
+    /// onto [`RuntimeConfig::workers`] long-lived threads with per-node
+    /// inboxes and a hashed timer wheel — thousands of nodes on a
+    /// handful of threads. See `crates/runtime/src/reactor.rs`.
+    Reactor,
+}
+
+impl Backend {
+    /// The stable CLI/JSON name of the backend.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Threads => "threads",
+            Backend::Reactor => "reactor",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(Backend::Threads),
+            "reactor" => Ok(Backend::Reactor),
+            other => Err(format!(
+                "unknown backend {other:?} (want 'threads' or 'reactor')"
+            )),
+        }
+    }
+}
 
 /// Configuration of a wall-clock run.
 #[derive(Clone, Debug)]
@@ -21,6 +71,10 @@ pub struct RuntimeConfig {
     /// Nodes left unstarted (crash-from-start faults). For Byzantine
     /// experiments use the deterministic simulator, which can audit the
     /// adversary; the runtime is the deployment path.
+    ///
+    /// Duplicate and out-of-range indices are ignored (the set is
+    /// deduplicated before use — a repeated index must not desynchronize
+    /// the startup barrier or the active-node count).
     pub silent: Vec<usize>,
     /// Maximum injected link delay `d`.
     pub d: Dur,
@@ -36,6 +90,32 @@ pub struct RuntimeConfig {
     pub run_for: Duration,
     /// RNG seed for delays, rates and offsets.
     pub seed: u64,
+    /// Which executor runs the nodes ([`Backend::Threads`] by default).
+    pub backend: Backend,
+    /// Worker threads for the [`Backend::Reactor`] executor; `None`
+    /// means `available_parallelism()`. Ignored by the thread backend.
+    pub workers: Option<usize>,
+}
+
+impl RuntimeConfig {
+    /// A config with everything defaulted except the system size:
+    /// fault-free, 5 ms/2 ms WAN-ish link, θ = 1.01, 500 ms run, thread
+    /// backend. Meant to be customized by struct update syntax.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        RuntimeConfig {
+            n,
+            silent: Vec::new(),
+            d: Dur::from_millis(5.0),
+            u: Dur::from_millis(2.0),
+            theta: 1.01,
+            max_offset: Dur::from_millis(1.0),
+            run_for: Duration::from_millis(500),
+            seed: 0,
+            backend: Backend::Threads,
+            workers: None,
+        }
+    }
 }
 
 /// The result of a wall-clock run, convertible to the simulator's
@@ -44,111 +124,191 @@ pub struct RuntimeConfig {
 pub struct RuntimeReport {
     /// Pulse instants per node, as seconds since the harness epoch.
     pub trace: Trace,
-    /// Messages the network thread delivered.
+    /// Messages the network thread delivered (broadcasts count once per
+    /// destination, including destinations that crashed at start).
+    pub messages_delivered: u64,
+}
+
+/// What a backend returns to the harness: everything still in host-time
+/// terms, converted to a [`Trace`] once, outside any lock.
+pub(crate) struct BackendRun {
+    pub epoch: Instant,
+    pub pulse_log: Vec<Vec<(u64, Instant)>>,
+    pub violations: Vec<String>,
     pub messages_delivered: u64,
 }
 
 /// Runs `make_node`-built automatons under real threads, real (injected)
-/// delays and real ed25519 signatures.
+/// delays and real ed25519 signatures, on the configured [`Backend`].
 ///
 /// The same [`Automaton`] code that runs in the simulator runs here —
-/// `CpsNode`, `LwNode`, `EchoSyncNode`, or yours.
+/// `CpsNode`, `LwNode`, `EchoSyncNode`, or yours — and the same protocol
+/// driver (`NodeCore`, `src/node.rs`) runs under both backends, so the
+/// two differ only in scheduling.
 ///
 /// # Panics
 ///
-/// Panics if thread spawning fails or `n == 0`.
-pub fn run<A, F>(cfg: &RuntimeConfig, mut make_node: F) -> RuntimeReport
+/// Panics if thread spawning fails, if `n == 0`, or if an automaton
+/// handler panicked on a backend thread.
+pub fn run<A, F>(cfg: &RuntimeConfig, make_node: F) -> RuntimeReport
 where
-    A: Automaton + 'static,
+    A: Automaton,
     F: FnMut(NodeId) -> A,
 {
     assert!(cfg.n > 0, "need at least one node");
+    // Dedupe and bound the silent set once: a duplicated index in
+    // `cfg.silent` must count one node, not two (a repeat used to
+    // desynchronize the startup barrier and hang the run).
+    let silent: Vec<usize> = cfg
+        .silent
+        .iter()
+        .copied()
+        .filter(|&i| i < cfg.n)
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
     let ring = KeyRing::ed25519(cfg.n, cfg.seed);
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x0e0e_1111);
-    // The epoch is anchored only after every node thread is running and
-    // parked at the barrier; otherwise a slow-spawning thread would start
-    // rounds late and look like a node with an out-of-model clock.
-    let active = cfg.n - cfg.silent.iter().filter(|i| **i < cfg.n).count();
-    let barrier = Arc::new(Barrier::new(active + 1));
-    let epoch_cell: Arc<OnceLock<Instant>> = Arc::new(OnceLock::new());
+    let run = match cfg.backend {
+        Backend::Threads => run_threads(cfg, &silent, &ring, &mut rng, make_node),
+        Backend::Reactor => reactor::run(cfg, &silent, &ring, &mut rng, make_node),
+    };
 
-    let mut inbox_txs = Vec::with_capacity(cfg.n);
-    let mut inbox_rxs = Vec::with_capacity(cfg.n);
-    for _ in 0..cfg.n {
-        let (tx, rx) = channel::unbounded::<NodeEvent<A::Msg>>();
-        inbox_txs.push(tx);
-        inbox_rxs.push(Some(rx));
-    }
-    let network = Network::spawn(inbox_txs.clone(), cfg.d, cfg.u, cfg.seed);
-
-    let pulse_log = Arc::new(Mutex::new(vec![Vec::new(); cfg.n]));
-    let violations = Arc::new(Mutex::new(Vec::new()));
-    let mut handles = Vec::new();
-    for i in 0..cfg.n {
-        if cfg.silent.contains(&i) {
-            continue;
-        }
-        let me = NodeId::new(i);
-        let rate = 1.0 + rng.gen::<f64>() * (cfg.theta - 1.0);
-        let offset = cfg.max_offset * rng.gen::<f64>();
-        let automaton = make_node(me);
-        let inbox = inbox_rxs[i].take().expect("inbox not yet taken");
-        let net = network.commands.clone();
-        let signer = ring.signer(me);
-        let verifier = ring.verifier();
-        let log = Arc::clone(&pulse_log);
-        let viol = Arc::clone(&violations);
-        let n = cfg.n;
-        let barrier = Arc::clone(&barrier);
-        let epoch_cell = Arc::clone(&epoch_cell);
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("crusader-{me}"))
-                .spawn(move || {
-                    barrier.wait();
-                    let epoch = *epoch_cell.wait();
-                    let clock = EmulatedClock::new(epoch, offset, rate);
-                    node_loop(
-                        automaton, me, n, clock, inbox, net, signer, verifier, log, viol,
-                    );
-                })
-                .expect("spawn node thread"),
-        );
-    }
-
-    barrier.wait();
-    let epoch = Instant::now() + Duration::from_millis(5);
-    epoch_cell.set(epoch).expect("epoch set once");
-    std::thread::sleep(cfg.run_for);
-    for tx in &inbox_txs {
-        let _ = tx.send(NodeEvent::Shutdown);
-    }
-    for handle in handles {
-        let _ = handle.join();
-    }
-    let _ = network.commands.send(NetCommand::Shutdown);
-    let messages_delivered = network.handle.join().unwrap_or(0);
-
-    // Convert to the simulator's trace for metric reuse.
-    let log = pulse_log.lock();
+    // Convert to the simulator's trace for metric reuse. The backends
+    // surrendered ownership of their logs, so this clones nothing and
+    // holds no lock.
+    let BackendRun {
+        epoch,
+        pulse_log,
+        mut violations,
+        messages_delivered,
+    } = run;
     let mut trace = Trace::default();
-    trace.pulses = log
-        .iter()
-        .map(|pulses| {
-            let mut sorted: Vec<(u64, Instant)> = pulses.clone();
-            sorted.sort_by_key(|(idx, _)| *idx);
-            sorted
-                .iter()
+    trace.pulses = pulse_log
+        .into_iter()
+        .map(|mut pulses| {
+            pulses.sort_by_key(|(idx, _)| *idx);
+            pulses
+                .into_iter()
                 .map(|(_, at)| {
                     Time::from_secs(at.saturating_duration_since(epoch).as_secs_f64())
                 })
                 .collect()
         })
         .collect();
-    trace.violations = violations.lock().clone();
+    violations.sort();
+    trace.violations = violations;
     trace.messages_delivered = messages_delivered;
     RuntimeReport {
         trace,
+        messages_delivered,
+    }
+}
+
+/// The original thread-per-node backend.
+fn run_threads<A, F>(
+    cfg: &RuntimeConfig,
+    silent: &[usize],
+    ring: &KeyRing,
+    rng: &mut SmallRng,
+    mut make_node: F,
+) -> BackendRun
+where
+    A: Automaton,
+    F: FnMut(NodeId) -> A,
+{
+    // The epoch is anchored only after every node thread is running and
+    // parked at the barrier; otherwise a slow-spawning thread would start
+    // rounds late and look like a node with an out-of-model clock.
+    let active = cfg.n - silent.len();
+    let barrier = Arc::new(Barrier::new(active + 1));
+    let epoch_cell: Arc<OnceLock<Instant>> = Arc::new(OnceLock::new());
+
+    let mut inbox_txs: Vec<Option<channel::Sender<NodeEvent<A::Msg>>>> = Vec::with_capacity(cfg.n);
+    let mut inbox_rxs = Vec::with_capacity(cfg.n);
+    for i in 0..cfg.n {
+        if silent.binary_search(&i).is_ok() {
+            inbox_txs.push(None);
+            inbox_rxs.push(None);
+        } else {
+            let (tx, rx) = channel::unbounded::<NodeEvent<A::Msg>>();
+            inbox_txs.push(Some(tx));
+            inbox_rxs.push(Some(rx));
+        }
+    }
+    let net_sink = {
+        let txs = inbox_txs.clone();
+        move |to: NodeId, from: NodeId, msg: A::Msg| {
+            // Silent nodes crashed at start: their messages are dropped
+            // rather than buffered unread. A closed inbox means that node
+            // already shut down; also fine.
+            if let Some(tx) = &txs[to.index()] {
+                let _ = tx.send(NodeEvent::Deliver { from, msg });
+            }
+        }
+    };
+    let network = Network::spawn(net_sink, cfg.n, cfg.d, cfg.u, cfg.seed);
+
+    let verifier = ring.verifier();
+    let mut handles = Vec::new();
+    for i in 0..cfg.n {
+        let me = NodeId::new(i);
+        let Some(inbox) = inbox_rxs[i].take() else {
+            continue; // silent
+        };
+        let rate = 1.0 + rng.gen::<f64>() * (cfg.theta - 1.0);
+        let offset = cfg.max_offset * rng.gen::<f64>();
+        let automaton = make_node(me);
+        let net = network.commands.clone();
+        let signer = ring.signer(me);
+        let verifier = Arc::clone(&verifier);
+        let n = cfg.n;
+        let barrier = Arc::clone(&barrier);
+        let epoch_cell = Arc::clone(&epoch_cell);
+        handles.push((
+            i,
+            std::thread::Builder::new()
+                .name(format!("crusader-{me}"))
+                .spawn(move || {
+                    barrier.wait();
+                    let epoch = *epoch_cell.wait();
+                    let clock = EmulatedClock::new(epoch, offset, rate);
+                    let core = NodeCore::new(automaton, me, n, clock, signer, verifier);
+                    node_loop(core, &inbox, &net)
+                })
+                .expect("spawn node thread"),
+        ));
+    }
+
+    barrier.wait();
+    let epoch = Instant::now() + Duration::from_millis(5);
+    epoch_cell.set(epoch).expect("epoch set once");
+    std::thread::sleep(cfg.run_for);
+    for tx in inbox_txs.iter().flatten() {
+        let _ = tx.send(NodeEvent::Shutdown);
+    }
+    let mut pulse_log = vec![Vec::new(); cfg.n];
+    let mut violations = Vec::new();
+    let mut node_panic = None;
+    for (i, handle) in handles {
+        match handle.join() {
+            Ok(core) => {
+                let (pulses, viols) = core.into_results();
+                pulse_log[i] = pulses;
+                violations.extend(viols);
+            }
+            Err(payload) => node_panic = Some(payload),
+        }
+    }
+    let _ = network.commands.send(NetCommand::Shutdown);
+    let messages_delivered = network.handle.join().unwrap_or(0);
+    if let Some(payload) = node_panic {
+        std::panic::resume_unwind(payload);
+    }
+    BackendRun {
+        epoch,
+        pulse_log,
+        violations,
         messages_delivered,
     }
 }

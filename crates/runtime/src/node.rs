@@ -1,3 +1,21 @@
+//! The per-node protocol driver shared by both runtime backends.
+//!
+//! [`NodeCore`] owns everything one node needs to run its
+//! [`Automaton`]: the automaton itself, the node's emulated drifting
+//! clock, its pending local-time timers, and its signing/verifying
+//! capabilities. Both backends drive the *same* `NodeCore` methods —
+//! the `threads` backend from a blocking per-node event loop
+//! ([`node_loop`]), the `reactor` backend from whichever worker thread
+//! the node's task is scheduled on — so protocol semantics cannot drift
+//! between backends.
+//!
+//! Pulses and violations are buffered *inside* the core and harvested
+//! once at shutdown: the hot path takes no shared lock (the seed
+//! implementation funnelled every pulse through one global
+//! `Mutex<Vec<…>>`, which at thousands of nodes is a scalability bug,
+//! and converted the log to a [`Trace`](crusader_sim::Trace) while still
+//! holding it).
+
 use std::collections::{BinaryHeap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
@@ -6,13 +24,9 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use crusader_crypto::{NodeId, Signer, Verifier};
 use crusader_sim::{Automaton, Context, TimerId};
 use crusader_time::LocalTime;
-use parking_lot::Mutex;
 
 use crate::clock::EmulatedClock;
 use crate::net::{NetCommand, NodeEvent};
-
-/// A pulse observation: (pulse index, host instant).
-pub(crate) type PulseLog = Arc<Mutex<Vec<Vec<(u64, Instant)>>>>;
 
 struct PendingTimer {
     fire_local: LocalTime,
@@ -40,6 +54,35 @@ impl Ord for PendingTimer {
     }
 }
 
+/// Messages a handler produced, to be flushed to the network by the
+/// backend after the handler returns. Broadcasts stay a *single* value
+/// here and on the wire to the network thread; the fan-out (and the
+/// per-destination delay draws) happens inside the network, so a
+/// 2048-node broadcast costs one channel send, not 2048.
+pub(crate) struct Outbox<M> {
+    pub sends: Vec<(NodeId, M)>,
+    pub broadcasts: Vec<M>,
+}
+
+impl<M> Outbox<M> {
+    pub fn new() -> Self {
+        Outbox {
+            sends: Vec::new(),
+            broadcasts: Vec::new(),
+        }
+    }
+
+    /// Sends the buffered messages out through the network channel.
+    pub fn flush(&mut self, from: NodeId, net: &Sender<NetCommand<M>>) {
+        for (to, msg) in self.sends.drain(..) {
+            let _ = net.send(NetCommand::Send { from, to, msg });
+        }
+        for msg in self.broadcasts.drain(..) {
+            let _ = net.send(NetCommand::Broadcast { from, msg });
+        }
+    }
+}
+
 struct RtCtx<'a, M> {
     me: NodeId,
     n: usize,
@@ -47,7 +90,8 @@ struct RtCtx<'a, M> {
     signer: &'a dyn Signer,
     verifier: &'a dyn Verifier,
     next_timer: &'a mut u64,
-    sends: Vec<(NodeId, M)>,
+    sends: &'a mut Vec<(NodeId, M)>,
+    broadcasts: &'a mut Vec<M>,
     timers: Vec<(TimerId, LocalTime)>,
     cancels: Vec<TimerId>,
     pulses: Vec<u64>,
@@ -68,9 +112,7 @@ impl<'a, M: Clone> Context<M> for RtCtx<'a, M> {
         self.sends.push((to, msg));
     }
     fn broadcast(&mut self, msg: M) {
-        for to in NodeId::all(self.n) {
-            self.sends.push((to, msg.clone()));
-        }
+        self.broadcasts.push(msg);
     }
     fn set_timer_at(&mut self, at: LocalTime) -> TimerId {
         let id = TimerId::new(*self.next_timer);
@@ -95,38 +137,79 @@ impl<'a, M: Clone> Context<M> for RtCtx<'a, M> {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn node_loop<A: Automaton>(
-    mut automaton: A,
+/// One node's complete runtime state, backend-agnostic.
+pub(crate) struct NodeCore<A: Automaton> {
+    automaton: A,
     me: NodeId,
     n: usize,
     clock: EmulatedClock,
-    inbox: Receiver<NodeEvent<A::Msg>>,
-    net: Sender<NetCommand<A::Msg>>,
     signer: Arc<dyn Signer>,
     verifier: Arc<dyn Verifier>,
-    pulse_log: PulseLog,
-    violations: Arc<Mutex<Vec<String>>>,
-) {
-    let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
-    let mut cancelled: HashSet<TimerId> = HashSet::new();
-    let mut next_timer_raw: u64 = (me.index() as u64) << 40; // node-unique ids
-    let run_handler = |automaton: &mut A,
-                           timers: &mut BinaryHeap<PendingTimer>,
-                           cancelled: &mut HashSet<TimerId>,
-                           next_timer_raw: &mut u64,
-                           event: Option<NodeEvent<A::Msg>>,
-                           fired: Option<TimerId>|
-     -> bool {
-        let now_local = clock.read(Instant::now());
-        let mut ctx = RtCtx {
+    timers: BinaryHeap<PendingTimer>,
+    cancelled: HashSet<TimerId>,
+    next_timer_raw: u64,
+    /// Pulse observations `(index, host instant)`, harvested at shutdown.
+    pulses: Vec<(u64, Instant)>,
+    /// Violations (prefixed with the node id), harvested at shutdown.
+    violations: Vec<String>,
+    /// Whether `on_init` ran (the reactor initializes lazily on the
+    /// node's first scheduling; the thread backend calls it up front).
+    inited: bool,
+    /// Set once the node saw `Shutdown`; further events are ignored.
+    pub done: bool,
+    /// The wheel deadline this node last registered with the reactor's
+    /// timer thread (`None` = no pending wakeup). Unused by the thread
+    /// backend, which blocks in `recv_deadline` instead.
+    pub registered_wakeup: Option<Instant>,
+}
+
+impl<A: Automaton> NodeCore<A> {
+    pub fn new(
+        automaton: A,
+        me: NodeId,
+        n: usize,
+        clock: EmulatedClock,
+        signer: Arc<dyn Signer>,
+        verifier: Arc<dyn Verifier>,
+    ) -> Self {
+        NodeCore {
+            automaton,
             me,
             n,
+            clock,
+            signer,
+            verifier,
+            timers: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_timer_raw: (me.index() as u64) << 40, // node-unique ids
+            pulses: Vec::new(),
+            violations: Vec::new(),
+            inited: false,
+            done: false,
+            registered_wakeup: None,
+        }
+    }
+
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    fn dispatch(
+        &mut self,
+        event: Option<NodeEvent<A::Msg>>,
+        fired: Option<TimerId>,
+        out: &mut Outbox<A::Msg>,
+    ) -> bool {
+        let now_local = self.clock.read(Instant::now());
+        let mut ctx = RtCtx {
+            me: self.me,
+            n: self.n,
             now_local,
-            signer: &*signer,
-            verifier: &*verifier,
-            next_timer: next_timer_raw,
-            sends: Vec::new(),
+            signer: &*self.signer,
+            verifier: &*self.verifier,
+            next_timer: &mut self.next_timer_raw,
+            sends: &mut out.sends,
+            broadcasts: &mut out.broadcasts,
             timers: Vec::new(),
             cancels: Vec::new(),
             pulses: Vec::new(),
@@ -134,14 +217,13 @@ pub(crate) fn node_loop<A: Automaton>(
         };
         match (event, fired) {
             (Some(NodeEvent::Deliver { from, msg }), _) => {
-                automaton.on_message(from, msg, &mut ctx);
+                self.automaton.on_message(from, msg, &mut ctx);
             }
             (Some(NodeEvent::Shutdown), _) => return false,
-            (None, Some(id)) => automaton.on_timer(id, &mut ctx),
-            (None, None) => automaton.on_init(&mut ctx),
+            (None, Some(id)) => self.automaton.on_timer(id, &mut ctx),
+            (None, None) => self.automaton.on_init(&mut ctx),
         }
         let RtCtx {
-            sends,
             timers: new_timers,
             cancels,
             pulses,
@@ -149,89 +231,117 @@ pub(crate) fn node_loop<A: Automaton>(
             ..
         } = ctx;
         for id in cancels {
-            cancelled.insert(id);
+            self.cancelled.insert(id);
         }
         for (id, at) in new_timers {
-            timers.push(PendingTimer {
+            self.timers.push(PendingTimer {
                 fire_local: at,
                 id,
             });
         }
         if !pulses.is_empty() {
             let now = Instant::now();
-            let mut log = pulse_log.lock();
-            for _idx in &pulses {
-                log[me.index()].push((*_idx, now));
-            }
+            self.pulses.extend(pulses.into_iter().map(|idx| (idx, now)));
         }
-        if !new_violations.is_empty() {
-            violations.lock().extend(
-                new_violations
-                    .into_iter()
-                    .map(|v| format!("{me}: {v}")),
-            );
-        }
-        for (to, msg) in sends {
-            let _ = net.send(NetCommand::Send { from: me, to, msg });
-        }
+        self.violations.extend(
+            new_violations
+                .into_iter()
+                .map(|v| format!("{}: {v}", self.me)),
+        );
         true
-    };
-
-    // Init.
-    if !run_handler(
-        &mut automaton,
-        &mut timers,
-        &mut cancelled,
-        &mut next_timer_raw,
-        None,
-        None,
-    ) {
-        return;
     }
 
-    loop {
-        // Fire all due timers.
-        let now_local = clock.read(Instant::now());
-        while timers
-            .peek()
-            .is_some_and(|t| t.fire_local <= now_local)
-        {
-            let t = timers.pop().expect("peeked");
-            if cancelled.remove(&t.id) {
-                continue;
-            }
-            if !run_handler(
-                &mut automaton,
-                &mut timers,
-                &mut cancelled,
-                &mut next_timer_raw,
-                None,
-                Some(t.id),
-            ) {
+    /// Runs `on_init` (idempotent).
+    pub fn init(&mut self, out: &mut Outbox<A::Msg>) {
+        if !self.inited {
+            self.inited = true;
+            self.dispatch(None, None, out);
+        }
+    }
+
+    /// Feeds one event to the automaton. Returns `false` on `Shutdown`
+    /// (the core marks itself `done`).
+    pub fn on_event(&mut self, event: NodeEvent<A::Msg>, out: &mut Outbox<A::Msg>) -> bool {
+        if self.done {
+            return false;
+        }
+        if !self.dispatch(Some(event), None, out) {
+            self.done = true;
+            return false;
+        }
+        true
+    }
+
+    /// Fires every timer due by the node's emulated clock.
+    pub fn fire_due(&mut self, out: &mut Outbox<A::Msg>) {
+        if self.done {
+            return;
+        }
+        loop {
+            let now_local = self.clock.read(Instant::now());
+            let due = self
+                .timers
+                .peek()
+                .is_some_and(|t| t.fire_local <= now_local);
+            if !due {
                 return;
             }
+            let t = self.timers.pop().expect("peeked");
+            if self.cancelled.remove(&t.id) {
+                continue;
+            }
+            self.dispatch(None, Some(t.id), out);
         }
+    }
+
+    /// The host instant of the earliest pending (uncancelled) timer.
+    pub fn next_deadline(&mut self) -> Option<Instant> {
+        while let Some(t) = self.timers.peek() {
+            if self.cancelled.contains(&t.id) {
+                let t = self.timers.pop().expect("peeked");
+                self.cancelled.remove(&t.id);
+                continue;
+            }
+            return Some(self.clock.when(t.fire_local));
+        }
+        None
+    }
+
+    /// Surrenders the buffered pulse log and violations.
+    pub fn into_results(self) -> (Vec<(u64, Instant)>, Vec<String>) {
+        (self.pulses, self.violations)
+    }
+}
+
+/// The thread backend's per-node event loop: blocks on the inbox with
+/// the next timer deadline as the wait bound. Returns the core so the
+/// harness can harvest its pulse log without any shared-state locking.
+pub(crate) fn node_loop<A: Automaton>(
+    mut core: NodeCore<A>,
+    inbox: &Receiver<NodeEvent<A::Msg>>,
+    net: &Sender<NetCommand<A::Msg>>,
+) -> NodeCore<A> {
+    let mut out = Outbox::new();
+    core.init(&mut out);
+    out.flush(core.me(), net);
+    loop {
+        core.fire_due(&mut out);
+        out.flush(core.me(), net);
         // Wait for the next message or timer deadline.
-        let result = match timers.peek() {
-            Some(t) => inbox.recv_deadline(clock.when(t.fire_local)),
+        let result = match core.next_deadline() {
+            Some(at) => inbox.recv_deadline(at),
             None => inbox.recv().map_err(|_| RecvTimeoutError::Disconnected),
         };
         match result {
             Ok(event) => {
-                let keep_going = run_handler(
-                    &mut automaton,
-                    &mut timers,
-                    &mut cancelled,
-                    &mut next_timer_raw,
-                    Some(event),
-                    None,
-                );
+                let keep_going = core.on_event(event, &mut out);
+                out.flush(core.me(), net);
                 if !keep_going {
-                    return;
+                    return core;
                 }
             }
             Err(RecvTimeoutError::Timeout) => { /* loop fires due timers */ }
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Disconnected) => return core,
         }
     }
 }

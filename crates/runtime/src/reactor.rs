@@ -1,0 +1,509 @@
+//! The event-driven `reactor` backend: N node tasks on M worker threads.
+//!
+//! The thread backend burns one OS thread per node, which caps
+//! deployments at a few dozen nodes; the reactor multiplexes thousands
+//! of [`NodeCore`] state machines onto a small persistent worker pool —
+//! the same long-lived-workers-fed-by-channels pattern as the sharded
+//! simulator's lane pool (`crates/sim/src/shard.rs`), adapted from
+//! "whole lanes per window" to "one node task per wakeup".
+//!
+//! ```text
+//!             ┌────────────┐  NetCommand (Send/Broadcast)
+//!   handlers ─┤  network   │◄───────────────────────────┐
+//!             │  thread    │                             │
+//!             └─────┬──────┘ deliver: inbox push + wake  │
+//!                   ▼                                    │
+//!  ┌───────────────────────────────┐               ┌─────┴─────┐
+//!  │ per-node cells                │   ready queue │  workers  │
+//!  │  inbox: Mutex<Vec<NodeEvent>> │──────────────►│  (M long- │
+//!  │  queued: AtomicBool           │  (crossbeam   │   lived   │
+//!  │  core: Mutex<Option<NodeCore>>│   channel;    │  threads, │
+//!  └───────────────────────────────┘   workers     │  parked   │
+//!                   ▲                  park on     │  on recv) │
+//!                   │ wake at deadline  recv)      └─────┬─────┘
+//!             ┌─────┴──────┐                             │
+//!             │   timer    │◄────────────────────────────┘
+//!             │   thread   │  register(node, Instant)
+//!             │ hashed     │
+//!             │ timer wheel│
+//!             └────────────┘
+//! ```
+//!
+//! * **Cells and the ready queue.** Each node is a cell: an inbox, a
+//!   `queued` flag, and its [`NodeCore`]. Anyone with an event for the
+//!   node (network thread, timer thread, harness) pushes it into the
+//!   inbox and *schedules* the cell — a compare-and-swap on `queued`
+//!   plus, if it was idle, one send on the shared ready channel. Workers
+//!   block on that channel (crossbeam parks them when it is empty), pop
+//!   a node index, drain the node's inbox in batches through the same
+//!   `NodeCore` handler code the thread backend uses, fire its due
+//!   timers, and clear `queued`. The flag guarantees a node is never on
+//!   the ready queue twice, so a node's handlers are always executed
+//!   sequentially — the [`Automaton`] contract — without per-node locks
+//!   being contended.
+//! * **Timers.** `SetTimer` deadlines stay node-local (each `NodeCore`
+//!   keeps its own heap, as under the thread backend); the reactor only
+//!   needs to know *when to wake the node next*. After running a node,
+//!   the worker registers the node's earliest deadline with the timer
+//!   thread, which multiplexes all N wakeups through one hashed
+//!   [`TimerWheel`](crate::wheel::TimerWheel) and re-schedules each node
+//!   as its tick expires. Wheel granularity is derived from `u` (a wake
+//!   can be late by at most one tick, which is indistinguishable from
+//!   host scheduling jitter and is folded into the same "real hardware
+//!   inflates `u`" caveat as everything else in this crate).
+//! * **Fairness.** A worker processes at most [`BATCH_EVENTS`] events
+//!   per scheduling; if the inbox still has more (or grew while the
+//!   worker was clearing the flag), the cell is re-scheduled at the back
+//!   of the ready queue, so one hot node cannot starve 2047 others.
+//! * **Shutdown.** The harness pushes `Shutdown` into every inbox,
+//!   schedules every cell, then enqueues one sentinel per worker.
+//!   Channel FIFO order means every pre-shutdown wakeup drains first;
+//!   workers exit on the sentinel, then the network and timer threads
+//!   are joined, and the pulse logs are harvested from the cells with
+//!   everything quiescent — no lock is ever held while converting.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender};
+use crusader_crypto::{KeyRing, NodeId};
+use crusader_sim::Automaton;
+use crusader_time::Dur;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::clock::EmulatedClock;
+use crate::harness::{BackendRun, RuntimeConfig};
+use crate::net::{NetCommand, Network, NodeEvent};
+use crate::node::{NodeCore, Outbox};
+use crate::wheel::{TimerWheel, WheelKey};
+
+/// Max events one scheduling quantum may process before the node goes
+/// back to the end of the ready queue.
+const BATCH_EVENTS: usize = 256;
+
+/// Ready-queue sentinel telling a worker to exit.
+const STOP: u32 = u32::MAX;
+
+/// Ready-queue sentinel telling a worker to drain the urgent lane.
+const KICK: u32 = u32::MAX - 1;
+
+/// Slot count of the per-run hashed timer wheel.
+const WHEEL_SLOTS: usize = 256;
+
+/// Wheel tick granularity: fine enough that the ≤ 1-tick wake lateness
+/// is small against the delay uncertainty `u` (protocol deadlines
+/// compound two or three timer hops, so lateness must be ≪ the slack
+/// `u` provides), coarse enough that the timer thread is not spinning.
+/// Clamped to `[50 µs, 1 ms]`.
+fn wheel_granularity_ns(u: Dur, d: Dur) -> u64 {
+    let base = (u.min(d) / 64.0).as_nanos();
+    let clamped = base.clamp(50_000.0, 1_000_000.0);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        clamped as u64
+    }
+}
+
+struct Cell<A: Automaton> {
+    inbox: Mutex<Vec<NodeEvent<A::Msg>>>,
+    queued: AtomicBool,
+    /// Whether the timer wheel currently holds a wakeup for this node.
+    /// Set by the worker when it registers a deadline, cleared by the
+    /// timer thread when the entry fires. Guards against the lost-wakeup
+    /// race where the wheel fires *while* the node is mid-run (the
+    /// `queued` flag swallows the schedule): the worker's post-run
+    /// recheck sees `armed == false` with a deadline still pending and
+    /// re-schedules itself.
+    wheel_armed: AtomicBool,
+    /// `None` for silent (crashed-from-start) nodes. Locked only by the
+    /// single worker currently running the node (the `queued` protocol
+    /// makes that exclusive), so never contended.
+    core: Mutex<Option<NodeCore<A>>>,
+}
+
+struct Shared<A: Automaton> {
+    cells: Vec<Cell<A>>,
+    /// Immutable after construction: `false` for silent nodes, so the
+    /// delivery path never touches a cell's `core` lock.
+    active: Vec<bool>,
+    ready_tx: Sender<u32>,
+    /// Deadline wakeups jump the message backlog: workers drain this
+    /// lane before taking the next ready-queue entry. Without it, a
+    /// timer wake waits FIFO behind every queued node's message batch —
+    /// milliseconds of protocol-visible timer lateness under an echo
+    /// storm (the thread backend gets this priority for free from the
+    /// kernel scheduler, which preempts busy threads when a
+    /// `recv_deadline` expires).
+    urgent: Mutex<std::collections::VecDeque<u32>>,
+}
+
+impl<A: Automaton> Shared<A> {
+    /// Puts `idx` on the ready queue unless it is already there.
+    fn schedule(&self, idx: usize) {
+        if !self.cells[idx].queued.swap(true, Ordering::AcqRel) {
+            let _ = self.ready_tx.send(idx as u32);
+        }
+    }
+
+    /// Like [`schedule`](Self::schedule), but through the urgent lane —
+    /// used by the timer thread for expired deadlines. Unconditional:
+    /// even a node already *on* the normal ready queue (or mid-run) must
+    /// not serve its expired deadline behind the message backlog — under
+    /// an echo storm that back-of-the-queue wait is tens of
+    /// milliseconds. A duplicate run is a cheap no-op.
+    fn schedule_urgent(&self, idx: usize) {
+        let _ = self.cells[idx].queued.swap(true, Ordering::AcqRel);
+        self.urgent.lock().push_back(idx as u32);
+        // Kick a (possibly parked) worker to look at the lane.
+        let _ = self.ready_tx.send(KICK);
+    }
+
+    /// Network-delivery sink: push and wake. Deliveries to silent nodes
+    /// are dropped here — the node crashed before start, so the bytes
+    /// would only pile up unread (the thread backend's sink does the
+    /// same; the network still counts the delivery).
+    fn deliver(&self, to: NodeId, from: NodeId, msg: A::Msg) {
+        if !self.active[to.index()] {
+            return;
+        }
+        let cell = &self.cells[to.index()];
+        cell.inbox.lock().push(NodeEvent::Deliver { from, msg });
+        self.schedule(to.index());
+    }
+}
+
+enum WheelCmd {
+    /// Replace `node`'s wakeup with `at` (`None` clears it).
+    Register { node: u32, at: Option<Instant> },
+    Stop,
+}
+
+/// One scheduling quantum for node `idx` on a worker thread.
+fn run_node<A: Automaton>(
+    shared: &Shared<A>,
+    idx: usize,
+    out: &mut Outbox<A::Msg>,
+    net: &Sender<NetCommand<A::Msg>>,
+    wheel_tx: &Sender<WheelCmd>,
+) {
+    let cell = &shared.cells[idx];
+    let deadline_pending = {
+        let mut guard = cell.core.lock();
+        let Some(core) = guard.as_mut() else {
+            cell.queued.store(false, Ordering::Release);
+            return;
+        };
+        if core.done {
+            cell.inbox.lock().clear();
+            cell.queued.store(false, Ordering::Release);
+            return;
+        }
+        core.init(out);
+        let mut processed = 0;
+        'events: while processed < BATCH_EVENTS {
+            let mut batch = std::mem::take(&mut *cell.inbox.lock());
+            if batch.is_empty() {
+                break;
+            }
+            // Hold the quantum to the cap strictly: the tail goes back to
+            // the *front* of the inbox (ahead of anything that arrived
+            // since the take), or one hot node under an echo storm would
+            // monopolize its worker and starve every other node's timers.
+            if batch.len() > BATCH_EVENTS - processed {
+                let tail = batch.split_off(BATCH_EVENTS - processed);
+                let mut inbox = cell.inbox.lock();
+                let newer = std::mem::replace(&mut *inbox, tail);
+                inbox.extend(newer);
+            }
+            for event in batch {
+                processed += 1;
+                if !core.on_event(event, out) {
+                    break 'events; // shutdown; the rest is moot
+                }
+            }
+        }
+        core.fire_due(out);
+        out.flush(core.me(), net);
+        // Register (or clear) this node's wakeup with the timer thread.
+        // Re-registration is needed when the earliest deadline changed
+        // *or* the wheel no longer holds our entry (it fired — possibly
+        // before the emulated clock caught up to the local fire time, or
+        // while this very run was in flight).
+        let next = if core.done { None } else { core.next_deadline() };
+        let needs_register = match next {
+            Some(_) => {
+                next != core.registered_wakeup || !cell.wheel_armed.load(Ordering::Acquire)
+            }
+            None => core.registered_wakeup.is_some(),
+        };
+        if needs_register {
+            core.registered_wakeup = next;
+            cell.wheel_armed.store(next.is_some(), Ordering::Release);
+            let _ = wheel_tx.send(WheelCmd::Register {
+                node: idx as u32,
+                at: next,
+            });
+        }
+        next.is_some()
+    };
+    cell.queued.store(false, Ordering::Release);
+    // Lost-wakeup checks: events that arrived between the inbox drain
+    // and the flag clear (or past the batch cap) re-schedule the node;
+    // so does a wheel wakeup that fired mid-run and found `queued` set.
+    if !cell.inbox.lock().is_empty()
+        || (deadline_pending && !cell.wheel_armed.load(Ordering::Acquire))
+    {
+        shared.schedule(idx);
+    }
+}
+
+fn timer_loop<A: Automaton>(
+    shared: &Shared<A>,
+    rx: &Receiver<WheelCmd>,
+    t0: Instant,
+    granularity_ns: u64,
+) {
+    let nanos_since = |at: Instant| -> u64 {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            at.saturating_duration_since(t0).as_nanos() as u64
+        }
+    };
+    let mut wheel: TimerWheel<u32> = TimerWheel::new(granularity_ns, WHEEL_SLOTS);
+    let mut keys: Vec<Option<WheelKey>> = vec![None; shared.cells.len()];
+    let apply = |wheel: &mut TimerWheel<u32>,
+                     keys: &mut Vec<Option<WheelKey>>,
+                     cmd: WheelCmd|
+     -> bool {
+        match cmd {
+            WheelCmd::Register { node, at } => {
+                if let Some(key) = keys[node as usize].take() {
+                    wheel.cancel(key);
+                }
+                if let Some(at) = at {
+                    keys[node as usize] = Some(wheel.insert(nanos_since(at), node));
+                }
+                true
+            }
+            WheelCmd::Stop => false,
+        }
+    };
+    loop {
+        // Apply every already-queued command without blocking…
+        loop {
+            match rx.try_recv() {
+                Ok(cmd) => {
+                    if !apply(&mut wheel, &mut keys, cmd) {
+                        return;
+                    }
+                }
+                Err(channel::TryRecvError::Empty) => break,
+                Err(channel::TryRecvError::Disconnected) => return,
+            }
+        }
+        // …then fire everything due *now*. This must come before the
+        // blocking receive and must not depend on a timeout: under an
+        // echo storm the re-registration traffic is continuous, and a
+        // `recv_deadline` that drains queued commands before reporting
+        // `Timeout` would otherwise starve expiry for as long as the
+        // storm lasts (≈ one message flight — a protocol-visible
+        // deadline slip, not jitter).
+        for (_, node) in wheel.advance(nanos_since(Instant::now())) {
+            keys[node as usize] = None;
+            // Disarm *before* scheduling: if the node is mid-run and the
+            // schedule is swallowed by its `queued` flag, the worker's
+            // post-run recheck observes the disarm and re-schedules.
+            shared.cells[node as usize]
+                .wheel_armed
+                .store(false, Ordering::Release);
+            shared.schedule_urgent(node as usize);
+        }
+        let next = wheel
+            .next_deadline()
+            .map(|ns| t0 + Duration::from_nanos(ns));
+        let cmd = match next {
+            Some(at) => rx.recv_deadline(at),
+            None => rx
+                .recv()
+                .map_err(|_| channel::RecvTimeoutError::Disconnected),
+        };
+        match cmd {
+            Ok(cmd) => {
+                if !apply(&mut wheel, &mut keys, cmd) {
+                    return;
+                }
+            }
+            Err(channel::RecvTimeoutError::Disconnected) => return,
+            Err(channel::RecvTimeoutError::Timeout) => { /* loop fires due */ }
+        }
+    }
+}
+
+/// Runs the configured system on the reactor backend. Mirrors the thread
+/// backend observable-for-observable: same RNG draw order for rates and
+/// offsets, same network semantics, same report.
+pub(crate) fn run<A, F>(
+    cfg: &RuntimeConfig,
+    silent: &[usize],
+    ring: &KeyRing,
+    rng: &mut SmallRng,
+    mut make_node: F,
+) -> BackendRun
+where
+    A: Automaton,
+    F: FnMut(NodeId) -> A,
+{
+    let workers = cfg
+        .workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+        .max(1);
+    let t0 = Instant::now();
+    // The epoch is a hair in the future so every clock starts at its
+    // configured offset, mirroring the thread backend's barrier anchor.
+    let epoch = t0 + Duration::from_millis(2);
+    let verifier = ring.verifier();
+
+    let (ready_tx, ready_rx) = channel::unbounded::<u32>();
+    let mut cells = Vec::with_capacity(cfg.n);
+    let mut active = Vec::with_capacity(cfg.n);
+    for i in 0..cfg.n {
+        let core = if silent.binary_search(&i).is_ok() {
+            None
+        } else {
+            let me = NodeId::new(i);
+            let rate = 1.0 + rng.gen::<f64>() * (cfg.theta - 1.0);
+            let offset = cfg.max_offset * rng.gen::<f64>();
+            let clock = EmulatedClock::new(epoch, offset, rate);
+            Some(NodeCore::new(
+                make_node(me),
+                me,
+                cfg.n,
+                clock,
+                ring.signer(me),
+                Arc::clone(&verifier),
+            ))
+        };
+        active.push(core.is_some());
+        cells.push(Cell {
+            inbox: Mutex::new(Vec::new()),
+            queued: AtomicBool::new(false),
+            wheel_armed: AtomicBool::new(false),
+            core: Mutex::new(core),
+        });
+    }
+    let shared = Arc::new(Shared {
+        cells,
+        active,
+        ready_tx: ready_tx.clone(),
+        urgent: Mutex::new(std::collections::VecDeque::new()),
+    });
+
+    let net_sink = {
+        let shared = Arc::clone(&shared);
+        move |to: NodeId, from: NodeId, msg: A::Msg| shared.deliver(to, from, msg)
+    };
+    let network = Network::spawn(net_sink, cfg.n, cfg.d, cfg.u, cfg.seed);
+
+    let (wheel_tx, wheel_rx) = channel::unbounded::<WheelCmd>();
+    let granularity = wheel_granularity_ns(cfg.u, cfg.d);
+    let timer_handle = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("crusader-timer".into())
+            .spawn(move || timer_loop(&shared, &wheel_rx, t0, granularity))
+            .expect("spawn timer thread")
+    };
+
+    let worker_handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let shared = Arc::clone(&shared);
+            let ready_rx = ready_rx.clone();
+            let net = network.commands.clone();
+            let wheel_tx = wheel_tx.clone();
+            std::thread::Builder::new()
+                .name(format!("crusader-worker-{w}"))
+                .spawn(move || {
+                    let mut out = Outbox::new();
+                    while let Ok(idx) = ready_rx.recv() {
+                        if idx == STOP {
+                            return;
+                        }
+                        // Expired deadlines first; the ready-queue entry
+                        // waits its turn behind them.
+                        loop {
+                            let next = shared.urgent.lock().pop_front();
+                            match next {
+                                Some(u) => {
+                                    run_node(&shared, u as usize, &mut out, &net, &wheel_tx);
+                                }
+                                None => break,
+                            }
+                        }
+                        if idx != KICK {
+                            run_node(&shared, idx as usize, &mut out, &net, &wheel_tx);
+                        }
+                    }
+                })
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    // Kick every live node so its `on_init` runs (lazily, on a worker).
+    for i in 0..cfg.n {
+        if silent.binary_search(&i).is_err() {
+            shared.schedule(i);
+        }
+    }
+
+    std::thread::sleep(cfg.run_for);
+
+    // Orderly shutdown: Shutdown events first, then one sentinel per
+    // worker — FIFO ordering drains all pre-shutdown work first.
+    for i in 0..cfg.n {
+        if silent.binary_search(&i).is_err() {
+            shared.cells[i].inbox.lock().push(NodeEvent::Shutdown);
+            shared.schedule(i);
+        }
+    }
+    for _ in 0..workers {
+        let _ = ready_tx.send(STOP);
+    }
+    let mut worker_panic = None;
+    for handle in worker_handles {
+        if let Err(payload) = handle.join() {
+            worker_panic = Some(payload);
+        }
+    }
+    let _ = network.commands.send(NetCommand::Shutdown);
+    let messages_delivered = network.handle.join().unwrap_or(0);
+    let _ = wheel_tx.send(WheelCmd::Stop);
+    let _ = timer_handle.join();
+    if let Some(payload) = worker_panic {
+        // An automaton handler blew up on a worker; resume the panic on
+        // the caller like the thread backend's join would.
+        std::panic::resume_unwind(payload);
+    }
+
+    // Everything is joined: harvest without contention.
+    let shared = Arc::into_inner(shared).expect("all thread handles joined");
+    let mut pulse_log = vec![Vec::new(); cfg.n];
+    let mut violations = Vec::new();
+    for (i, cell) in shared.cells.into_iter().enumerate() {
+        if let Some(core) = cell.core.into_inner() {
+            let (pulses, viols) = core.into_results();
+            pulse_log[i] = pulses;
+            violations.extend(viols);
+        }
+    }
+    BackendRun {
+        epoch,
+        pulse_log,
+        violations,
+        messages_delivered,
+    }
+}

@@ -1,0 +1,250 @@
+//! Backend equivalence: the `threads` and `reactor` executors drive the
+//! same protocol core, so on the same scenario both must complete pulses
+//! within the same model bounds.
+//!
+//! Wall-clock runtimes are not bit-deterministic (host scheduling is
+//! real), so unlike the simulator's pinned trace hashes these tests pin
+//! *model-level* properties: pulse liveness, violation-freedom, skew
+//! bounds, and the crash-fault semantics of `silent` — on both backends,
+//! with the same configs.
+
+use std::time::Duration;
+
+use crusader_core::{CpsNode, FleetNode, Params, PulseClient};
+use crusader_crypto::NodeId;
+use crusader_runtime::{run, Backend, RuntimeConfig, RuntimeReport};
+use crusader_sim::metrics::pulse_stats;
+use crusader_time::Dur;
+
+const BACKENDS: [Backend; 2] = [Backend::Threads, Backend::Reactor];
+
+fn cps_cfg(backend: Backend, n: usize, silent: Vec<usize>, seed: u64) -> (RuntimeConfig, Params) {
+    let d = Dur::from_millis(5.0);
+    let u = Dur::from_millis(2.0);
+    let params = Params::max_resilience(n, d, u, 1.01);
+    let derived = params.derive().unwrap();
+    let cfg = RuntimeConfig {
+        n,
+        silent,
+        d,
+        u,
+        theta: 1.01,
+        max_offset: derived.s,
+        run_for: Duration::from_millis(700),
+        seed,
+        backend,
+        workers: None,
+    };
+    (cfg, params)
+}
+
+fn run_cps(cfg: &RuntimeConfig, params: Params) -> RuntimeReport {
+    let derived = params.derive().unwrap();
+    run(cfg, |me| CpsNode::new(me, params, derived))
+}
+
+/// Fault-free CPS: both backends complete ≥ 3 pulses, violation-free,
+/// with skew inside the loose deployment bound.
+#[test]
+fn both_backends_complete_cps_within_model_bounds() {
+    for backend in BACKENDS {
+        let (cfg, params) = cps_cfg(backend, 4, vec![], 21);
+        let derived = params.derive().unwrap();
+        let report = run_cps(&cfg, params);
+        let honest: Vec<NodeId> = NodeId::all(4).collect();
+        let stats = pulse_stats(&report.trace, &honest);
+        assert!(
+            stats.complete_pulses >= 3,
+            "{backend}: only {} pulses: {:?}",
+            stats.complete_pulses,
+            report.trace.violations
+        );
+        assert!(
+            report.trace.violations.is_empty(),
+            "{backend}: {:?}",
+            report.trace.violations
+        );
+        assert!(
+            stats.max_skew < cfg.d + derived.s * 2.0,
+            "{backend}: skew {}",
+            stats.max_skew
+        );
+        assert!(report.messages_delivered > 0, "{backend}");
+    }
+}
+
+/// Max silent faults (f = ⌈n/2⌉ − 1): both backends keep pulsing.
+#[test]
+fn both_backends_tolerate_max_silent_faults() {
+    for backend in BACKENDS {
+        let (cfg, params) = cps_cfg(backend, 5, vec![3, 4], 23);
+        let report = run_cps(&cfg, params);
+        let honest: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let stats = pulse_stats(&report.trace, &honest);
+        assert!(
+            stats.complete_pulses >= 3,
+            "{backend}: only {} pulses: {:?}",
+            stats.complete_pulses,
+            report.trace.violations
+        );
+        // The silent nodes really stayed silent.
+        assert!(report.trace.pulses[3].is_empty(), "{backend}");
+        assert!(report.trace.pulses[4].is_empty(), "{backend}");
+    }
+}
+
+/// Regression for the duplicated-`silent` bug: a repeated or unsorted
+/// index used to be counted twice in the active-node count, leaving the
+/// startup barrier waiting for a node that never existed — the run hung
+/// forever. Both backends must dedupe.
+#[test]
+fn duplicate_silent_indices_do_not_desynchronize_startup() {
+    for backend in BACKENDS {
+        let (mut cfg, params) = cps_cfg(backend, 4, vec![3, 3, 3], 25);
+        // Out-of-range indices are ignored too.
+        cfg.silent.push(99);
+        cfg.run_for = Duration::from_millis(500);
+        let report = run_cps(&cfg, params);
+        let honest: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let stats = pulse_stats(&report.trace, &honest);
+        assert!(
+            stats.complete_pulses >= 2,
+            "{backend}: only {} pulses: {:?}",
+            stats.complete_pulses,
+            report.trace.violations
+        );
+        assert!(report.trace.pulses[3].is_empty(), "{backend}");
+    }
+}
+
+/// The one-to-many fleet (CPS core + listen-only clients) runs on both
+/// backends: every client follows the core's pulses.
+#[test]
+fn fleet_clients_follow_core_on_both_backends() {
+    let core = 4;
+    let n = 16;
+    let d = Dur::from_millis(5.0);
+    let u = Dur::from_millis(2.0);
+    let params = Params::max_resilience(core, d, u, 1.01);
+    let derived = params.derive().unwrap();
+    for backend in BACKENDS {
+        let cfg = RuntimeConfig {
+            n,
+            silent: vec![],
+            d,
+            u,
+            theta: 1.01,
+            max_offset: derived.s,
+            run_for: Duration::from_millis(700),
+            seed: 27,
+            backend,
+            workers: None,
+        };
+        let report = run(&cfg, |me| {
+            if me.index() < core {
+                FleetNode::Core(Box::new(CpsNode::new(me, params, derived)))
+            } else {
+                FleetNode::Client(PulseClient::new(core, params.f))
+            }
+        });
+        let everyone: Vec<NodeId> = NodeId::all(n).collect();
+        let stats = pulse_stats(&report.trace, &everyone);
+        assert!(
+            stats.complete_pulses >= 2,
+            "{backend}: fleet completed {} pulses: {:?}",
+            stats.complete_pulses,
+            report.trace.violations
+        );
+        assert!(
+            report.trace.violations.is_empty(),
+            "{backend}: {:?}",
+            report.trace.violations
+        );
+    }
+}
+
+/// The reactor at a scale the thread backend is not asked to attempt
+/// here: 192 nodes (core of 8 + 184 clients) on a handful of workers,
+/// completing pulses violation-free in under a second of run time.
+#[test]
+fn reactor_hosts_hundreds_of_nodes() {
+    let core = 8;
+    let n = 192;
+    let d = Dur::from_millis(12.0);
+    let u = Dur::from_millis(4.0);
+    let params = Params::max_resilience(core, d, u, 1.01);
+    let derived = params.derive().unwrap();
+    let cfg = RuntimeConfig {
+        n,
+        silent: vec![],
+        d,
+        u,
+        theta: 1.01,
+        max_offset: derived.s,
+        run_for: Duration::from_millis(900),
+        seed: 29,
+        backend: Backend::Reactor,
+        workers: None,
+    };
+    let report = run(&cfg, |me| {
+        if me.index() < core {
+            FleetNode::Core(Box::new(CpsNode::new(me, params, derived)))
+        } else {
+            FleetNode::Client(PulseClient::new(core, params.f))
+        }
+    });
+    let everyone: Vec<NodeId> = NodeId::all(n).collect();
+    let stats = pulse_stats(&report.trace, &everyone);
+    assert!(
+        stats.complete_pulses >= 1,
+        "fleet completed {} pulses: {:?}",
+        stats.complete_pulses,
+        report.trace.violations
+    );
+    assert!(
+        report.trace.violations.is_empty(),
+        "{:?}",
+        report.trace.violations
+    );
+}
+
+/// A handler panic on a reactor worker propagates to the caller instead
+/// of silently starving the run (mirrors the sharded simulator's
+/// panic-forwarding worker pool).
+#[test]
+fn reactor_propagates_handler_panics() {
+    struct Bomb;
+    impl crusader_sim::Automaton for Bomb {
+        type Msg = crusader_core::Carry;
+        fn on_init(&mut self, _ctx: &mut dyn crusader_sim::Context<Self::Msg>) {
+            panic!("boom: handler panic must reach the caller");
+        }
+        fn on_message(
+            &mut self,
+            _from: NodeId,
+            _msg: Self::Msg,
+            _ctx: &mut dyn crusader_sim::Context<Self::Msg>,
+        ) {
+        }
+        fn on_timer(
+            &mut self,
+            _timer: crusader_sim::TimerId,
+            _ctx: &mut dyn crusader_sim::Context<Self::Msg>,
+        ) {
+        }
+    }
+    let cfg = RuntimeConfig {
+        n: 2,
+        silent: vec![],
+        d: Dur::from_millis(5.0),
+        u: Dur::from_millis(2.0),
+        theta: 1.01,
+        max_offset: Dur::from_millis(1.0),
+        run_for: Duration::from_millis(50),
+        seed: 31,
+        backend: Backend::Reactor,
+        workers: Some(1),
+    };
+    let result = std::panic::catch_unwind(|| run(&cfg, |_me| Bomb));
+    assert!(result.is_err(), "panic must propagate");
+}

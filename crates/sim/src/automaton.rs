@@ -11,10 +11,14 @@ pub use crate::event::TimerId;
 /// world goes through the [`Context`].
 ///
 /// Handlers are invoked sequentially per node; an automaton never needs
-/// interior synchronization. Automatons own their state outright
-/// (`'static`): the sharded executor's persistent worker pool moves
-/// whole lanes of them onto long-lived threads, and the wall-clock
-/// runtime gives each node its own OS thread.
+/// interior synchronization — every executor guarantees it: the
+/// simulator by construction, the sharded executor by lane ownership,
+/// and the wall-clock runtime on both of its backends (a dedicated OS
+/// thread per node under `threads`; a never-queued-twice scheduling
+/// flag per node task under the `reactor` worker pool). Automatons own
+/// their state outright (`'static`): the sharded executor's persistent
+/// worker pool moves whole lanes of them onto long-lived threads, and
+/// the runtime's reactor moves individual node tasks between workers.
 pub trait Automaton: Send + 'static {
     /// The protocol's message type.
     ///

@@ -11,11 +11,19 @@ use std::time::Duration;
 
 use crusader::core::{CpsNode, Params};
 use crusader::crypto::NodeId;
-use crusader::runtime::{run, RuntimeConfig};
+use crusader::runtime::{run, Backend, RuntimeConfig};
 use crusader::sim::metrics::pulse_stats;
 use crusader::time::Dur;
 
 fn main() {
+    // `--backend reactor` runs the same deployment on the event-driven
+    // worker-pool executor (see examples/reactor_swarm.rs for it at
+    // thousand-node scale).
+    let backend: Backend = std::env::args()
+        .skip(1)
+        .skip_while(|a| a != "--backend")
+        .nth(1)
+        .map_or(Backend::Threads, |v| v.parse().expect("--backend"));
     let n = 5;
     let d = Dur::from_millis(8.0);
     let u = Dur::from_millis(3.0);
@@ -23,7 +31,7 @@ fn main() {
     let params = Params::max_resilience(n, d, u, theta);
     let derived = params.derive().expect("feasible");
 
-    println!("live run: {n} threads, ed25519 signatures, d = {d}, u = {u}");
+    println!("live run: {n} nodes on the '{backend}' backend, ed25519 signatures, d = {d}, u = {u}");
     println!("  node 4 is crashed; S = {}, T = {}", derived.s, derived.t_nominal);
     println!("  running for 2 seconds of wall-clock time...\n");
 
@@ -36,6 +44,8 @@ fn main() {
         max_offset: derived.s,
         run_for: Duration::from_secs(2),
         seed: 0xED25519,
+        backend,
+        workers: None,
     };
     let report = run(&cfg, |me| CpsNode::new(me, params, derived));
 

@@ -1,14 +1,22 @@
 //! Offline stand-in for `crossbeam`, providing the `channel` module the
-//! runtime uses, layered over `std::sync::mpsc`. See `vendor/README.md`.
+//! runtime and simulator use. See `vendor/README.md`.
 
 pub mod channel {
-    //! Multi-producer, single-consumer channels with deadline-aware
-    //! receives (the subset of `crossbeam-channel` the runtime uses).
+    //! Multi-producer, **multi-consumer** channels with deadline-aware
+    //! receives (the subset of `crossbeam-channel` this workspace uses).
+    //!
+    //! Like the real crate — and unlike `std::sync::mpsc` — both halves
+    //! are cloneable: several worker threads can share one `Receiver`,
+    //! which is exactly how the runtime's reactor backend feeds its
+    //! worker pool from a single ready queue. Implemented as a
+    //! `Mutex<VecDeque>` plus a `Condvar`; consumers park on the condvar
+    //! when the queue is empty and are woken per-push.
 
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
     use std::time::{Duration, Instant};
 
-    /// Error returned by [`Sender::send`] when the receiver is gone.
+    /// Error returned by [`Sender::send`] when all receivers are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
@@ -34,76 +42,167 @@ pub mod channel {
         Disconnected,
     }
 
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+        /// Receivers currently parked on the condvar; senders skip the
+        /// notify syscall when nobody is waiting.
+        waiters: usize,
+    }
+
+    struct Chan<T> {
+        inner: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
     /// The sending half of an unbounded channel.
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        chan: Arc<Chan<T>>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
+            self.chan.inner.lock().expect("channel poisoned").senders += 1;
             Sender {
-                inner: self.inner.clone(),
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.chan.inner.lock().expect("channel poisoned");
+            inner.senders -= 1;
+            if inner.senders == 0 && inner.waiters > 0 {
+                // Wake every parked receiver so it can observe the
+                // disconnect.
+                drop(inner);
+                self.chan.ready.notify_all();
             }
         }
     }
 
     impl<T> Sender<T> {
-        /// Sends `msg`, failing only if the receiver has been dropped.
+        /// Sends `msg`, failing only if every receiver has been dropped.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.inner.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+            let mut inner = self.chan.inner.lock().expect("channel poisoned");
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            inner.queue.push_back(msg);
+            let wake = inner.waiters > 0;
+            drop(inner);
+            if wake {
+                self.chan.ready.notify_one();
+            }
+            Ok(())
         }
     }
 
-    /// The receiving half of an unbounded channel.
+    /// The receiving half of an unbounded channel. Cloneable: clones
+    /// share the queue, and each message is received exactly once.
     pub struct Receiver<T> {
-        inner: mpsc::Receiver<T>,
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.inner.lock().expect("channel poisoned").receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.inner.lock().expect("channel poisoned").receivers -= 1;
+        }
     }
 
     impl<T> Receiver<T> {
         /// Blocks until a message arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.inner.recv().map_err(|_| RecvError)
+            let mut inner = self.chan.inner.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner.waiters += 1;
+                inner = self.chan.ready.wait(inner).expect("channel poisoned");
+                inner.waiters -= 1;
+            }
         }
 
         /// Blocks until a message arrives, all senders disconnect, or
         /// `timeout` elapses.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.inner.recv_timeout(timeout).map_err(|e| match e {
-                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
-                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-            })
+            self.recv_deadline(Instant::now() + timeout)
         }
 
         /// Blocks until a message arrives, all senders disconnect, or
-        /// `deadline` passes.
+        /// `deadline` passes. Anything already queued is drained before
+        /// a timeout is reported, like crossbeam does.
         pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
-            let now = Instant::now();
-            if deadline <= now {
-                // Drain anything already queued before reporting timeout,
-                // like crossbeam does.
-                return match self.inner.try_recv() {
-                    Ok(m) => Ok(m),
-                    Err(mpsc::TryRecvError::Empty) => Err(RecvTimeoutError::Timeout),
-                    Err(mpsc::TryRecvError::Disconnected) => Err(RecvTimeoutError::Disconnected),
+            let mut inner = self.chan.inner.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
                 };
+                inner.waiters += 1;
+                let (guard, _timed_out) = self
+                    .chan
+                    .ready
+                    .wait_timeout(inner, remaining)
+                    .expect("channel poisoned");
+                inner = guard;
+                inner.waiters -= 1;
             }
-            self.recv_timeout(deadline - now)
         }
 
         /// Receives without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.inner.try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            let mut inner = self.chan.inner.lock().expect("channel poisoned");
+            if let Some(msg) = inner.queue.pop_front() {
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
         }
     }
 
     /// Creates an unbounded channel.
     #[must_use]
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        let chan = Arc::new(Chan {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                waiters: 0,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
     }
 
     #[cfg(test)]
@@ -131,6 +230,59 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(tx);
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn cloned_receivers_share_the_queue() {
+            let (tx, rx1) = unbounded();
+            let rx2 = rx1.clone();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx1.recv(), Ok(1));
+            assert_eq!(rx2.recv(), Ok(2));
+        }
+
+        #[test]
+        fn multi_consumer_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            drop(rx);
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut all: Vec<u32> = consumers
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn send_fails_with_no_receivers() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn timeout_when_empty_and_senders_alive() {
+            let (tx, rx) = unbounded::<u8>();
+            let deadline = Instant::now() + Duration::from_millis(10);
+            assert_eq!(rx.recv_deadline(deadline), Err(RecvTimeoutError::Timeout));
+            drop(tx);
         }
     }
 }
