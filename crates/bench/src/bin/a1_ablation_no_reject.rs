@@ -54,6 +54,7 @@ fn run(n: usize, lanes: usize, reject: bool, stagger_us: f64) -> (f64, f64, usiz
 
 fn main() {
     let args = SimArgs::parse_or_exit();
+    args.reject_scenario("chaos scenario replay is the e11_chaos experiment");
     args.reject_backend("this experiment runs on the deterministic simulator; the wall-clock runtime scale experiment is e10_runtime_scale");
     let n = args.resolve_n(5, Dur::from_millis(1.0), Dur::from_micros(20.0), 1.003);
     let f = crusader_core::max_faults_with_signatures(n);

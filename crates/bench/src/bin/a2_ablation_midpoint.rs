@@ -24,6 +24,7 @@ fn naive_midpoint(values: &[Dur]) -> Dur {
 
 fn main() {
     let args = SimArgs::parse_or_exit();
+    args.reject_scenario("chaos scenario replay is the e11_chaos experiment");
     args.reject_backend("this experiment runs on the deterministic simulator; the wall-clock runtime scale experiment is e10_runtime_scale");
     args.reject_lanes("a2 samples estimate vectors directly, without the event simulator");
     let n = args.resolve_n_structural(9);

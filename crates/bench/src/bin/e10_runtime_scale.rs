@@ -26,6 +26,7 @@ use crusader_runtime::Backend;
 
 fn main() {
     let args = SimArgs::parse_or_exit();
+    args.reject_scenario("chaos scenario replay is the e11_chaos experiment");
     args.reject_lanes("the wall-clock runtime has no event lanes; lanes belong to the simulator");
     let n = args.n.unwrap_or(64);
     let backend = args.backend.unwrap_or(Backend::Reactor);

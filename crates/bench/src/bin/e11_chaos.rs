@@ -1,0 +1,143 @@
+//! E11 — chaos replay: runs `.chaos` scenarios from the committed
+//! catalog (or any file/directory of them) with the continuous
+//! invariant checker riding along, and **asserts** every verdict
+//! matches the scenario's pinned `expect` line — so a clean exit is
+//! itself a reproduction result, which is what the CI chaos-smoke step
+//! relies on.
+//!
+//! Every scenario replays on the deterministic simulator (`--lanes`
+//! selects the sharded executor); `--backend` *adds* a wall-clock
+//! runtime replay, where the same fault timeline plays out against the
+//! host clock and must reach the same verdict. `--n` rescales the
+//! scenarios to a larger system (node indices are absolute, so the
+//! extra nodes are untouched honest participants).
+//!
+//! ```text
+//! e11_chaos [--scenario FILE | --catalog DIR] [--n N] [--lanes L]
+//!           [--backend threads|reactor] [--workers W]
+//! ```
+
+use crusader_bench::cli::SimArgs;
+use crusader_chaos::{builtin_catalog_dir, run_scenario, Catalog, Executor, Scenario};
+
+fn main() {
+    let args = SimArgs::parse_or_exit();
+    let mut scenarios: Vec<Scenario> = match (&args.scenario, &args.catalog) {
+        (Some(_), Some(_)) => {
+            eprintln!("error: --scenario and --catalog are mutually exclusive");
+            std::process::exit(2);
+        }
+        (Some(file), None) => {
+            let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+                eprintln!("error: read {}: {e}", file.display());
+                std::process::exit(2);
+            });
+            vec![Scenario::parse(&text).unwrap_or_else(|e| {
+                eprintln!("error: {}: {e}", file.display());
+                std::process::exit(2);
+            })]
+        }
+        (None, dir) => {
+            let dir = dir.clone().unwrap_or_else(builtin_catalog_dir);
+            Catalog::load(&dir)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                })
+                .scenarios
+        }
+    };
+    if let Some(n) = args.n {
+        scenarios = scenarios
+            .iter()
+            .map(|sc| {
+                sc.rescale(n).unwrap_or_else(|e| {
+                    eprintln!("error: --n {n} cannot replay {}: {e}", sc.name);
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+    }
+    let mut executors = vec![Executor::Sim {
+        lanes: args.lanes(),
+        force_parallel: None,
+    }];
+    if let Some(backend) = args.backend {
+        executors.push(Executor::Runtime {
+            backend,
+            workers: args.workers,
+        });
+    } else if args.workers.is_some() {
+        eprintln!("error: --workers needs --backend");
+        std::process::exit(2);
+    }
+
+    println!(
+        "# E11: chaos replay   ({} scenario(s) × {} executor(s))\n",
+        scenarios.len(),
+        executors.len()
+    );
+    crusader_bench::header(&["scenario", "executor", "expected", "verdict", "first violation"]);
+    let mut mismatches = 0;
+    for sc in &scenarios {
+        for &executor in &executors {
+            // Wall-clock replays are at the mercy of host scheduling: a
+            // descheduled quantum longer than the protocol's slack loses
+            // a round no link bound can absorb. A genuine regression
+            // fails every attempt, so runtime verdicts get two fresh
+            // attempts before counting as a mismatch; the deterministic
+            // simulator is never retried (it would reproduce the same
+            // trace bit for bit).
+            let attempts = match executor {
+                Executor::Sim { .. } => 1,
+                Executor::Runtime { .. } => 3,
+            };
+            let mut out = run_scenario(sc, executor);
+            let mut retries = 0;
+            while !out.as_expected(sc) && retries + 1 < attempts {
+                retries += 1;
+                out = run_scenario(sc, executor);
+            }
+            let verdict = if out.verdict.clean() {
+                "clean".to_owned()
+            } else {
+                format!(
+                    "{} violation(s), {} tolerated",
+                    out.verdict.violations.len(),
+                    out.verdict.tolerated
+                )
+            };
+            let first = out
+                .verdict
+                .first_violation()
+                .map_or_else(|| "—".to_owned(), ToString::to_string);
+            let expected = match sc.expect {
+                crusader_chaos::Expectation::Clean => "clean",
+                crusader_chaos::Expectation::Violations => "violations",
+            };
+            let ok = out.as_expected(sc);
+            if !ok {
+                mismatches += 1;
+            }
+            let note = if !ok {
+                "  ← MISMATCH".to_owned()
+            } else if retries > 0 {
+                format!("  (retry {retries})")
+            } else {
+                String::new()
+            };
+            println!(
+                "| {} | {executor} | {expected} | {verdict}{note} | {first} |",
+                sc.name,
+            );
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("\n{mismatches} replay(s) diverged from their pinned verdicts");
+        std::process::exit(1);
+    }
+    println!(
+        "\nall {} scenario(s) reproduced their pinned verdicts on every executor ✓",
+        scenarios.len()
+    );
+}

@@ -66,6 +66,7 @@ fn verdict_lw(n: usize, f: usize, lanes: usize) -> &'static str {
 
 fn main() {
     let args = SimArgs::parse_or_exit();
+    args.reject_scenario("chaos scenario replay is the e11_chaos experiment");
     args.reject_backend("this experiment runs on the deterministic simulator; the wall-clock runtime scale experiment is e10_runtime_scale");
     // --n replaces the default size sweep with a single column (validated
     // for f = ceil(n/2)-1 feasibility); --lanes picks the executor.

@@ -9,6 +9,7 @@ use crusader_time::Dur;
 
 fn main() {
     let args = SimArgs::parse_or_exit();
+    args.reject_scenario("chaos scenario replay is the e11_chaos experiment");
     args.reject_backend("this experiment runs on the deterministic simulator; the wall-clock runtime scale experiment is e10_runtime_scale");
     // The sweep's harshest (u, θ) pair decides feasibility.
     let n = args.resolve_n(8, Dur::from_millis(1.0), Dur::from_micros(200.0), 1.02);

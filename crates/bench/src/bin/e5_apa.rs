@@ -59,6 +59,7 @@ fn spread(outs: &[Option<f64>]) -> f64 {
 
 fn main() {
     let args = SimArgs::parse_or_exit();
+    args.reject_scenario("chaos scenario replay is the e11_chaos experiment");
     args.reject_backend("this experiment runs on the deterministic simulator; the wall-clock runtime scale experiment is e10_runtime_scale");
     args.reject_lanes("e5 runs the synchronous round executor, which has no event lanes");
     let n = args.resolve_n_structural(7);

@@ -116,6 +116,7 @@ fn sample(
 
 fn main() {
     let args = SimArgs::parse_or_exit();
+    args.reject_scenario("chaos scenario replay is the e11_chaos experiment");
     args.reject_backend("this experiment runs on the deterministic simulator; the wall-clock runtime scale experiment is e10_runtime_scale");
     args.reject_lanes("e6 samples the TCB state machine directly, without the event simulator");
     let d = 1e-3;

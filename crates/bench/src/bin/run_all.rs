@@ -20,6 +20,7 @@ struct Experiment {
     takes_n: bool,
     takes_lanes: bool,
     takes_backend: bool,
+    takes_scenario: bool,
 }
 
 const fn exp(
@@ -33,6 +34,7 @@ const fn exp(
         takes_n,
         takes_lanes,
         takes_backend,
+        takes_scenario: false,
     }
 }
 
@@ -49,6 +51,13 @@ fn main() {
         exp("e8_baselines", true, true, false),
         exp("e9_rushing", true, true, false),
         exp("e10_runtime_scale", true, false, true),
+        Experiment {
+            name: "e11_chaos",
+            takes_n: true,
+            takes_lanes: true,
+            takes_backend: true,
+            takes_scenario: true,
+        },
         exp("a1_ablation_no_reject", true, true, false),
         exp("a2_ablation_midpoint", true, false, false),
     ];
@@ -76,6 +85,29 @@ fn main() {
             } else {
                 println!(
                     "({}: --backend not supported, simulator experiment)",
+                    e.name
+                );
+            }
+        }
+        if let Some(scenario) = &args.scenario {
+            if e.takes_scenario {
+                forwarded.extend([
+                    "--scenario".to_owned(),
+                    scenario.display().to_string(),
+                ]);
+            } else {
+                println!(
+                    "({}: --scenario not supported, chaos replay is e11_chaos)",
+                    e.name
+                );
+            }
+        }
+        if let Some(catalog) = &args.catalog {
+            if e.takes_scenario {
+                forwarded.extend(["--catalog".to_owned(), catalog.display().to_string()]);
+            } else {
+                println!(
+                    "({}: --catalog not supported, chaos replay is e11_chaos)",
                     e.name
                 );
             }

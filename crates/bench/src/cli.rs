@@ -39,13 +39,22 @@
 //!
 //! Simulator binaries reject both ([`SimArgs::reject_backend`]) — a
 //! deterministic simulation has no wall-clock backend to select.
+//!
+//! The chaos replay binary (`e11_chaos`) adds two flags of its own:
+//!
+//! * `--scenario FILE` — replay one `.chaos` scenario file;
+//! * `--catalog DIR` — replay a whole scenario directory (defaults to
+//!   the committed catalog in `crates/chaos/catalog`).
+//!
+//! Every other binary rejects both ([`SimArgs::reject_scenario`]) —
+//! the same discipline as `--backend`.
 
 use crusader_core::{max_faults_with_signatures, Params};
 use crusader_runtime::Backend;
 use crusader_time::Dur;
 
 /// Parsed experiment-binary overrides.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SimArgs {
     /// `--n`: requested system size (`None` keeps the binary's default).
     pub n: Option<usize>,
@@ -58,6 +67,13 @@ pub struct SimArgs {
     /// `--workers`: reactor worker-thread count (`None` means
     /// `available_parallelism()`). Runtime-facing binaries only.
     pub workers: Option<usize>,
+    /// `--scenario`: a `.chaos` scenario file to replay. Only the chaos
+    /// replay binary (`e11_chaos`) honours it; every other binary
+    /// rejects it ([`reject_scenario`](Self::reject_scenario)).
+    pub scenario: Option<std::path::PathBuf>,
+    /// `--catalog`: a directory of `.chaos` scenarios to replay.
+    /// `e11_chaos` only, like [`scenario`](Self::scenario).
+    pub catalog: Option<std::path::PathBuf>,
 }
 
 impl SimArgs {
@@ -67,8 +83,18 @@ impl SimArgs {
     ///
     /// Returns a message for unknown flags or unparsable values.
     pub fn parse() -> Result<SimArgs, String> {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// [`parse`](Self::parse) over an explicit argument list (the
+    /// process name already stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags or unparsable values.
+    pub fn parse_from(it: impl IntoIterator<Item = String>) -> Result<SimArgs, String> {
         let mut args = SimArgs::default();
-        let mut it = std::env::args().skip(1);
+        let mut it = it.into_iter();
         while let Some(arg) = it.next() {
             let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
             match arg.as_str() {
@@ -96,6 +122,12 @@ impl SimArgs {
                             .map_err(|e| format!("--workers: {e}"))?,
                     );
                 }
+                "--scenario" => {
+                    args.scenario = Some(value("--scenario")?.into());
+                }
+                "--catalog" => {
+                    args.catalog = Some(value("--catalog")?.into());
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
@@ -116,7 +148,8 @@ impl SimArgs {
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!(
-                    "usage: [--n N] [--lanes L] [--backend threads|reactor] [--workers W]"
+                    "usage: [--n N] [--lanes L] [--backend threads|reactor] [--workers W] \
+                     [--scenario FILE] [--catalog DIR]"
                 );
                 std::process::exit(2);
             }
@@ -202,5 +235,59 @@ impl SimArgs {
             eprintln!("error: --workers is not supported by this experiment: {why}");
             std::process::exit(2);
         }
+    }
+
+    /// For every experiment except the chaos replay binary: reject an
+    /// explicit `--scenario`/`--catalog` with `why` instead of silently
+    /// ignoring it (same discipline as [`reject_backend`](Self::reject_backend)).
+    pub fn reject_scenario(&self, why: &str) {
+        if self.scenario.is_some() {
+            eprintln!("error: --scenario is not supported by this experiment: {why}");
+            std::process::exit(2);
+        }
+        if self.catalog.is_some() {
+            eprintln!("error: --catalog is not supported by this experiment: {why}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<SimArgs, String> {
+        SimArgs::parse_from(words.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn scenario_and_catalog_flags_parse_as_paths() {
+        let args = parse(&[
+            "--scenario",
+            "catalog/05_partition_heal.chaos",
+            "--catalog",
+            "catalog",
+            "--lanes",
+            "4",
+        ])
+        .expect("parses");
+        assert_eq!(
+            args.scenario.as_deref(),
+            Some(std::path::Path::new("catalog/05_partition_heal.chaos"))
+        );
+        assert_eq!(args.catalog.as_deref(), Some(std::path::Path::new("catalog")));
+        assert_eq!(args.lanes, Some(4));
+    }
+
+    #[test]
+    fn scenario_flag_requires_a_value() {
+        let err = parse(&["--scenario"]).expect_err("must fail");
+        assert!(err.contains("--scenario"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_are_still_rejected() {
+        let err = parse(&["--chaos"]).expect_err("must fail");
+        assert!(err.contains("--chaos"), "{err}");
     }
 }

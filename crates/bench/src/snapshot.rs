@@ -462,6 +462,8 @@ pub fn runtime_scenario(n: usize) -> (RuntimeConfig, usize, Params) {
         seed: 0xCAFE ^ (n as u64),
         backend: Backend::Reactor,
         workers: None,
+        chaos: None,
+        observer: None,
     };
     (cfg, core, params)
 }

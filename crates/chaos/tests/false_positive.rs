@@ -1,0 +1,69 @@
+//! The false-positive guard: fault-free catalog scenarios, swept over
+//! seeds and system sizes, must report zero violations (and zero
+//! tolerated protocol complaints) on every executor. Any hit means the
+//! checker's bounds are mis-calibrated or an engine regressed — both
+//! worth failing loudly over.
+
+use crusader_chaos::{builtin_catalog_dir, run_scenario, Catalog, Executor, Scenario};
+
+fn fault_free_scenarios() -> Vec<Scenario> {
+    Catalog::load(&builtin_catalog_dir())
+        .expect("committed catalog loads")
+        .scenarios
+        .into_iter()
+        .filter(Scenario::is_fault_free)
+        .collect()
+}
+
+fn reparameterize(base: &Scenario, n: usize, seed: u64) -> Scenario {
+    let mut sc = base.rescale(n).expect("fault-free scenarios rescale to any n");
+    sc.name = format!("{}_n{n}_s{seed}", sc.name);
+    sc.seed = seed;
+    sc
+}
+
+fn assert_spotless(sc: &Scenario, executor: Executor) {
+    let out = run_scenario(sc, executor);
+    assert!(
+        out.verdict.clean(),
+        "{} on {executor}: fault-free run reported {:?}",
+        sc.name,
+        out.verdict.violations
+    );
+    assert_eq!(
+        out.verdict.tolerated, 0,
+        "{} on {executor}: fault-free run tolerated {} protocol complaints",
+        sc.name, out.verdict.tolerated
+    );
+    assert_eq!(
+        out.trace.chaos_drops, 0,
+        "{} on {executor}: fault-free run dropped messages",
+        sc.name
+    );
+}
+
+#[test]
+fn fault_free_scenarios_are_spotless_on_the_simulator() {
+    let bases = fault_free_scenarios();
+    assert!(!bases.is_empty(), "catalog has no fault-free scenario");
+    for base in &bases {
+        for n in [4, 8, 13] {
+            for seed in [5, 6, 7] {
+                let sc = reparameterize(base, n, seed);
+                for lanes in [1, 4] {
+                    assert_spotless(
+                        &sc,
+                        Executor::Sim {
+                            lanes,
+                            force_parallel: Some(lanes > 1),
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+// The wall-clock half of this guard lives in `wallclock.rs`, isolated
+// in its own test binary so real-time runs never race the simulator
+// sweep above.

@@ -7,13 +7,13 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 use crusader_crypto::{KeyRing, NodeId};
-use crusader_sim::{Automaton, Trace};
+use crusader_sim::{Automaton, ChaosTimeline, RunObserver, Trace};
 use crusader_time::{Dur, Time};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::clock::EmulatedClock;
-use crate::net::{NetCommand, Network, NodeEvent};
+use crate::net::{NetChaos, NetCommand, Network, NodeEvent};
 use crate::node::{node_loop, NodeCore};
 use crate::reactor;
 
@@ -95,6 +95,16 @@ pub struct RuntimeConfig {
     /// Worker threads for the [`Backend::Reactor`] executor; `None`
     /// means `available_parallelism()`. Ignored by the thread backend.
     pub workers: Option<usize>,
+    /// Chaos fault timeline replayed against the run: link cuts, delay
+    /// storms and flood windows are enforced by the network thread;
+    /// crash windows freeze/thaw the node cores at the scheduled
+    /// scenario times (measured from the run epoch). `None` (the
+    /// default) injects nothing.
+    pub chaos: Option<Arc<ChaosTimeline>>,
+    /// Continuous run observer: sees every pulse and violation as it
+    /// happens, on whichever backend thread produced it (implementations
+    /// are `Sync` and use interior mutability). `None` by default.
+    pub observer: Option<Arc<dyn RunObserver>>,
 }
 
 impl RuntimeConfig {
@@ -114,6 +124,8 @@ impl RuntimeConfig {
             seed: 0,
             backend: Backend::Threads,
             workers: None,
+            chaos: None,
+            observer: None,
         }
     }
 }
@@ -136,6 +148,8 @@ pub(crate) struct BackendRun {
     pub pulse_log: Vec<Vec<(u64, Instant)>>,
     pub violations: Vec<String>,
     pub messages_delivered: u64,
+    /// Sends the network thread discarded on chaos link cuts.
+    pub chaos_dropped: u64,
 }
 
 /// Runs `make_node`-built automatons under real threads, real (injected)
@@ -156,6 +170,13 @@ where
     F: FnMut(NodeId) -> A,
 {
     assert!(cfg.n > 0, "need at least one node");
+    if let Some(chaos) = &cfg.chaos {
+        assert_eq!(
+            chaos.n(),
+            cfg.n,
+            "chaos timeline sized for a different system"
+        );
+    }
     // Dedupe and bound the silent set once: a duplicated index in
     // `cfg.silent` must count one node, not two (a repeat used to
     // desynchronize the startup barrier and hang the run).
@@ -182,6 +203,7 @@ where
         pulse_log,
         mut violations,
         messages_delivered,
+        chaos_dropped,
     } = run;
     let mut trace = Trace::default();
     trace.pulses = pulse_log
@@ -199,6 +221,7 @@ where
     violations.sort();
     trace.violations = violations;
     trace.messages_delivered = messages_delivered;
+    trace.chaos_drops = chaos_dropped;
     RuntimeReport {
         trace,
         messages_delivered,
@@ -238,16 +261,20 @@ where
     }
     let net_sink = {
         let txs = inbox_txs.clone();
-        move |to: NodeId, from: NodeId, msg: A::Msg| {
+        move |to: NodeId, event: NodeEvent<A::Msg>| {
             // Silent nodes crashed at start: their messages are dropped
             // rather than buffered unread. A closed inbox means that node
             // already shut down; also fine.
             if let Some(tx) = &txs[to.index()] {
-                let _ = tx.send(NodeEvent::Deliver { from, msg });
+                let _ = tx.send(event);
             }
         }
     };
-    let network = Network::spawn(net_sink, cfg.n, cfg.d, cfg.u, cfg.seed);
+    let net_chaos = cfg.chaos.as_ref().map(|timeline| NetChaos {
+        timeline: Arc::clone(timeline),
+        epoch: Arc::clone(&epoch_cell),
+    });
+    let network = Network::spawn(net_sink, cfg.n, cfg.d, cfg.u, cfg.seed, net_chaos);
 
     let verifier = ring.verifier();
     let mut handles = Vec::new();
@@ -265,6 +292,7 @@ where
         let n = cfg.n;
         let barrier = Arc::clone(&barrier);
         let epoch_cell = Arc::clone(&epoch_cell);
+        let observer = cfg.observer.clone();
         handles.push((
             i,
             std::thread::Builder::new()
@@ -273,7 +301,10 @@ where
                     barrier.wait();
                     let epoch = *epoch_cell.wait();
                     let clock = EmulatedClock::new(epoch, offset, rate);
-                    let core = NodeCore::new(automaton, me, n, clock, signer, verifier);
+                    let mut core = NodeCore::new(automaton, me, n, clock, signer, verifier);
+                    if let Some(obs) = observer {
+                        core.set_observer(obs, epoch);
+                    }
                     node_loop(core, &inbox, &net)
                 })
                 .expect("spawn node thread"),
@@ -301,7 +332,7 @@ where
         }
     }
     let _ = network.commands.send(NetCommand::Shutdown);
-    let messages_delivered = network.handle.join().unwrap_or(0);
+    let (messages_delivered, chaos_dropped) = network.handle.join().unwrap_or((0, 0));
     if let Some(payload) = node_panic {
         std::panic::resume_unwind(payload);
     }
@@ -310,5 +341,6 @@ where
         pulse_log,
         violations,
         messages_delivered,
+        chaos_dropped,
     }
 }

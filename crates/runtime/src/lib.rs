@@ -60,6 +60,7 @@
 //!     seed: 42,
 //!     backend: Backend::Reactor,
 //!     workers: None, // available_parallelism()
+//!     ..RuntimeConfig::new(4)
 //! };
 //! let report = run(&cfg, |me| CpsNode::new(me, params, derived));
 //! println!("delivered {} messages", report.messages_delivered);
@@ -107,6 +108,8 @@ mod tests {
             seed,
             backend,
             workers: None,
+            chaos: None,
+            observer: None,
         };
         (cfg, params)
     }
@@ -182,6 +185,8 @@ mod tests {
                 seed: 3,
                 backend,
                 workers: None,
+                chaos: None,
+                observer: None,
             };
             let report = run(&cfg, |me| {
                 EchoSyncNode::new(me, 4, 1, Dur::from_millis(50.0))

@@ -15,12 +15,13 @@
 //! instead of 2048 deep copies.
 
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use crossbeam::channel::{self, Receiver, Sender};
 use crusader_crypto::NodeId;
-use crusader_time::Dur;
+use crusader_sim::ChaosTimeline;
+use crusader_time::{Dur, Time};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -34,22 +35,40 @@ pub enum NodeEvent<M> {
         /// Payload.
         msg: M,
     },
+    /// Chaos injection: the node crashes (drops deliveries, defers
+    /// timers) until [`NodeEvent::Thaw`].
+    Freeze,
+    /// Chaos injection: the node recovers; overdue timers fire at the
+    /// recovery instant, mirroring the simulator's deferral semantics.
+    Thaw,
     /// Orderly shutdown request from the harness.
     Shutdown,
 }
 
-/// How the network hands a delivered message to the backend.
+/// How the network hands an event to the backend.
 ///
 /// Implemented by plain closures; the network thread is generic over it
-/// so the thread and reactor backends share one delivery loop.
+/// so the thread and reactor backends share one delivery loop. Carries
+/// whole [`NodeEvent`]s (not just messages) so the chaos injector can
+/// emit `Freeze`/`Thaw` control events through the same path.
 pub(crate) trait DeliverySink<M>: Send + 'static {
-    fn deliver(&mut self, to: NodeId, from: NodeId, msg: M);
+    fn deliver(&mut self, to: NodeId, event: NodeEvent<M>);
 }
 
-impl<M, F: FnMut(NodeId, NodeId, M) + Send + 'static> DeliverySink<M> for F {
-    fn deliver(&mut self, to: NodeId, from: NodeId, msg: M) {
-        self(to, from, msg);
+impl<M, F: FnMut(NodeId, NodeEvent<M>) + Send + 'static> DeliverySink<M> for F {
+    fn deliver(&mut self, to: NodeId, event: NodeEvent<M>) {
+        self(to, event);
     }
+}
+
+/// Chaos injection context for the network thread: the fault timeline
+/// plus the run's epoch anchor. The epoch arrives through a `OnceLock`
+/// because the thread backend anchors it only after the startup barrier
+/// — until it is set, no scenario time has elapsed (every window starts
+/// after time zero) and the network polls briefly instead of blocking.
+pub(crate) struct NetChaos {
+    pub timeline: Arc<ChaosTimeline>,
+    pub epoch: Arc<OnceLock<Instant>>,
 }
 
 /// An in-flight payload: owned for unicasts, `Arc`-shared for
@@ -112,32 +131,44 @@ pub(crate) enum NetCommand<M> {
     Shutdown,
 }
 
-/// The delay-injecting network thread handle.
+/// The delay-injecting network thread handle. Joining yields
+/// `(delivered, chaos_dropped)` message counts.
 pub(crate) struct Network<M> {
     pub commands: Sender<NetCommand<M>>,
-    pub handle: std::thread::JoinHandle<u64>,
+    pub handle: std::thread::JoinHandle<(u64, u64)>,
 }
 
 impl<M: Clone + Send + Sync + 'static> Network<M> {
     /// Spawns the network thread for an `n`-node system, delivering
-    /// through `sink`.
+    /// through `sink`. When `chaos` is set, the thread additionally
+    /// enforces the timeline's link cuts, delay storms and flood
+    /// windows on every command, and emits `Freeze`/`Thaw` events at
+    /// the timeline's crash transitions.
     pub fn spawn<S: DeliverySink<M>>(
         sink: S,
         n: usize,
         d: Dur,
         u: Dur,
         seed: u64,
+        chaos: Option<NetChaos>,
     ) -> Network<M> {
         let (tx, rx): (Sender<NetCommand<M>>, Receiver<NetCommand<M>>) = channel::unbounded();
         let handle = std::thread::Builder::new()
             .name("crusader-net".into())
-            .spawn(move || network_loop(&rx, sink, n, d, u, seed))
+            .spawn(move || network_loop(&rx, sink, n, d, u, seed, chaos))
             .expect("spawn network thread");
         Network {
             commands: tx,
             handle,
         }
     }
+}
+
+/// Crash-transition playback state: the sorted `(when, node, down)`
+/// schedule from [`ChaosTimeline::crash_transitions`] plus a cursor.
+struct Transitions {
+    schedule: Vec<(Time, usize, bool)>,
+    next: usize,
 }
 
 fn network_loop<M: Clone + Send, S: DeliverySink<M>>(
@@ -147,11 +178,13 @@ fn network_loop<M: Clone + Send, S: DeliverySink<M>>(
     d: Dur,
     u: Dur,
     seed: u64,
-) -> u64 {
+    chaos: Option<NetChaos>,
+) -> (u64, u64) {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x7e7e_0000_0000_0001);
     let mut heap: BinaryHeap<InFlight<M>> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut delivered = 0u64;
+    let mut chaos_dropped = 0u64;
     let min = (d - u).as_secs().max(0.0);
     let max = d.as_secs();
     let draw_delay = move |rng: &mut SmallRng| -> std::time::Duration {
@@ -162,38 +195,162 @@ fn network_loop<M: Clone + Send, S: DeliverySink<M>>(
         };
         std::time::Duration::from_secs_f64(delay)
     };
+    let mut transitions = chaos.as_ref().map(|c| Transitions {
+        schedule: c.timeline.crash_transitions(),
+        next: 0,
+    });
+    // Scenario time elapsed since the epoch; zero until the epoch is
+    // anchored (all chaos windows open strictly after time zero).
+    let scenario_now = |chaos: &Option<NetChaos>, at: Instant| -> Time {
+        chaos
+            .as_ref()
+            .and_then(|c| c.epoch.get())
+            .map_or(Time::ZERO, |epoch| {
+                Time::from_secs(at.saturating_duration_since(*epoch).as_secs_f64())
+            })
+    };
     loop {
-        // Deliver everything due.
+        // Deliver everything due, interleaved with any crash
+        // transitions that have come due.
         let now = Instant::now();
+        if let (Some(tr), Some(c)) = (transitions.as_mut(), chaos.as_ref()) {
+            if let Some(epoch) = c.epoch.get().copied() {
+                while tr.schedule.get(tr.next).is_some_and(|&(t, _, _)| {
+                    epoch + std::time::Duration::from_secs_f64(t.as_secs()) <= now
+                }) {
+                    let (_, node, down) = tr.schedule[tr.next];
+                    tr.next += 1;
+                    let event = if down {
+                        NodeEvent::Freeze
+                    } else {
+                        NodeEvent::Thaw
+                    };
+                    sink.deliver(NodeId::new(node), event);
+                }
+            }
+        }
         while heap.peek().is_some_and(|m| m.deliver_at <= now) {
             let m = heap.pop().expect("peeked");
-            sink.deliver(m.to, m.from, m.payload.into_msg());
+            sink.deliver(
+                m.to,
+                NodeEvent::Deliver {
+                    from: m.from,
+                    msg: m.payload.into_msg(),
+                },
+            );
             delivered += 1;
         }
-        // Wait for the next command or the next due delivery.
-        let result = match heap.peek() {
-            Some(m) => rx.recv_deadline(m.deliver_at),
+        // Wait for the next command, the next due delivery, or the next
+        // crash transition — whichever is soonest. Until the epoch is
+        // anchored a pending transition schedule polls at 1ms.
+        let mut deadline: Option<Instant> = heap.peek().map(|m| m.deliver_at);
+        if let (Some(tr), Some(c)) = (transitions.as_ref(), chaos.as_ref()) {
+            if let Some(&(t, _, _)) = tr.schedule.get(tr.next) {
+                let at = match c.epoch.get() {
+                    Some(epoch) => *epoch + std::time::Duration::from_secs_f64(t.as_secs()),
+                    None => now + std::time::Duration::from_millis(1),
+                };
+                deadline = Some(deadline.map_or(at, |d| d.min(at)));
+            }
+        }
+        let result = match deadline {
+            Some(at) => rx.recv_deadline(at),
             None => rx
                 .recv()
                 .map_err(|_| channel::RecvTimeoutError::Disconnected),
         };
         match result {
             Ok(NetCommand::Send { from, to, msg }) => {
-                heap.push(InFlight {
-                    deliver_at: Instant::now() + draw_delay(&mut rng),
-                    seq,
-                    from,
-                    to,
-                    payload: Payload::One(msg),
-                });
+                let sent_at = Instant::now();
+                let t = scenario_now(&chaos, sent_at);
+                let tl = chaos.as_ref().map(|c| &*c.timeline);
+                if tl.is_some_and(|tl| tl.cut(from, to, t)) {
+                    chaos_dropped += 1;
+                    continue;
+                }
+                let storming = tl.is_some_and(|tl| tl.storming(t));
+                let flood = tl.and_then(|tl| tl.flood(t));
+                if let Some(spec) = flood {
+                    let shared = Arc::new(msg);
+                    for _ in 0..spec.copies {
+                        let delay = if spec.rush {
+                            std::time::Duration::from_secs_f64(min)
+                        } else {
+                            draw_delay(&mut rng)
+                        };
+                        heap.push(InFlight {
+                            deliver_at: sent_at + delay,
+                            seq,
+                            from,
+                            to,
+                            payload: Payload::Shared(Arc::clone(&shared)),
+                        });
+                        seq += 1;
+                    }
+                    let delay = if storming {
+                        std::time::Duration::from_secs_f64(max)
+                    } else {
+                        draw_delay(&mut rng)
+                    };
+                    heap.push(InFlight {
+                        deliver_at: sent_at + delay,
+                        seq,
+                        from,
+                        to,
+                        payload: Payload::Shared(shared),
+                    });
+                } else {
+                    let delay = if storming {
+                        std::time::Duration::from_secs_f64(max)
+                    } else {
+                        draw_delay(&mut rng)
+                    };
+                    heap.push(InFlight {
+                        deliver_at: sent_at + delay,
+                        seq,
+                        from,
+                        to,
+                        payload: Payload::One(msg),
+                    });
+                }
                 seq += 1;
             }
             Ok(NetCommand::Broadcast { from, msg }) => {
                 let shared = Arc::new(msg);
                 let sent_at = Instant::now();
+                let t = scenario_now(&chaos, sent_at);
+                let tl = chaos.as_ref().map(|c| &*c.timeline);
+                let storming = tl.is_some_and(|tl| tl.storming(t));
+                let flood = tl.and_then(|tl| tl.flood(t));
                 for to in NodeId::all(n) {
+                    if tl.is_some_and(|tl| tl.cut(from, to, t)) {
+                        chaos_dropped += 1;
+                        continue;
+                    }
+                    if let Some(spec) = flood {
+                        for _ in 0..spec.copies {
+                            let delay = if spec.rush {
+                                std::time::Duration::from_secs_f64(min)
+                            } else {
+                                draw_delay(&mut rng)
+                            };
+                            heap.push(InFlight {
+                                deliver_at: sent_at + delay,
+                                seq,
+                                from,
+                                to,
+                                payload: Payload::Shared(Arc::clone(&shared)),
+                            });
+                            seq += 1;
+                        }
+                    }
+                    let delay = if storming {
+                        std::time::Duration::from_secs_f64(max)
+                    } else {
+                        draw_delay(&mut rng)
+                    };
                     heap.push(InFlight {
-                        deliver_at: sent_at + draw_delay(&mut rng),
+                        deliver_at: sent_at + delay,
                         seq,
                         from,
                         to,
@@ -204,7 +361,7 @@ fn network_loop<M: Clone + Send, S: DeliverySink<M>>(
             }
             Ok(NetCommand::Shutdown) | Err(channel::RecvTimeoutError::Disconnected) => {
                 // Flush what is already due, then stop.
-                return delivered;
+                return (delivered, chaos_dropped);
             }
             Err(channel::RecvTimeoutError::Timeout) => {
                 // Loop around to deliver due messages.

@@ -22,8 +22,8 @@ use std::time::Instant;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use crusader_crypto::{NodeId, Signer, Verifier};
-use crusader_sim::{Automaton, Context, TimerId};
-use crusader_time::LocalTime;
+use crusader_sim::{Automaton, Context, RunObserver, TimerId};
+use crusader_time::{LocalTime, Time};
 
 use crate::clock::EmulatedClock;
 use crate::net::{NetCommand, NodeEvent};
@@ -155,6 +155,13 @@ pub(crate) struct NodeCore<A: Automaton> {
     /// Whether `on_init` ran (the reactor initializes lazily on the
     /// node's first scheduling; the thread backend calls it up front).
     inited: bool,
+    /// Chaos-crashed: deliveries are dropped and timers deferred until
+    /// a [`NodeEvent::Thaw`] arrives (they then fire at the recovery
+    /// instant, mirroring the simulator's crash semantics).
+    frozen: bool,
+    /// Continuous run observer plus the run epoch used to convert host
+    /// instants to scenario [`Time`]s. `None` outside chaos runs.
+    observer: Option<(Arc<dyn RunObserver>, Instant)>,
     /// Set once the node saw `Shutdown`; further events are ignored.
     pub done: bool,
     /// The wheel deadline this node last registered with the reactor's
@@ -185,9 +192,17 @@ impl<A: Automaton> NodeCore<A> {
             pulses: Vec::new(),
             violations: Vec::new(),
             inited: false,
+            frozen: false,
+            observer: None,
             done: false,
             registered_wakeup: None,
         }
+    }
+
+    /// Installs a continuous run observer; `epoch` anchors the
+    /// host-instant → scenario-time conversion for its callbacks.
+    pub fn set_observer(&mut self, observer: Arc<dyn RunObserver>, epoch: Instant) {
+        self.observer = Some((observer, epoch));
     }
 
     pub fn me(&self) -> NodeId {
@@ -220,6 +235,8 @@ impl<A: Automaton> NodeCore<A> {
                 self.automaton.on_message(from, msg, &mut ctx);
             }
             (Some(NodeEvent::Shutdown), _) => return false,
+            // Freeze/Thaw are consumed in `on_event` before dispatch.
+            (Some(NodeEvent::Freeze | NodeEvent::Thaw), _) => {}
             (None, Some(id)) => self.automaton.on_timer(id, &mut ctx),
             (None, None) => self.automaton.on_init(&mut ctx),
         }
@@ -241,13 +258,31 @@ impl<A: Automaton> NodeCore<A> {
         }
         if !pulses.is_empty() {
             let now = Instant::now();
+            if let Some((obs, epoch)) = &self.observer {
+                let at = Time::from_secs(now.saturating_duration_since(*epoch).as_secs_f64());
+                for idx in &pulses {
+                    obs.on_pulse(self.me, *idx, at);
+                }
+            }
             self.pulses.extend(pulses.into_iter().map(|idx| (idx, now)));
         }
-        self.violations.extend(
-            new_violations
-                .into_iter()
-                .map(|v| format!("{}: {v}", self.me)),
-        );
+        if !new_violations.is_empty() {
+            if let Some((obs, epoch)) = &self.observer {
+                let at = Time::from_secs(
+                    Instant::now()
+                        .saturating_duration_since(*epoch)
+                        .as_secs_f64(),
+                );
+                for v in &new_violations {
+                    obs.on_violation(Some(self.me), v, at);
+                }
+            }
+            self.violations.extend(
+                new_violations
+                    .into_iter()
+                    .map(|v| format!("{}: {v}", self.me)),
+            );
+        }
         true
     }
 
@@ -265,16 +300,32 @@ impl<A: Automaton> NodeCore<A> {
         if self.done {
             return false;
         }
-        if !self.dispatch(Some(event), None, out) {
-            self.done = true;
-            return false;
+        match event {
+            NodeEvent::Freeze => {
+                self.frozen = true;
+                return true;
+            }
+            NodeEvent::Thaw => {
+                self.frozen = false;
+                return true;
+            }
+            // A crashed node runs no handlers: deliveries to it are
+            // simply lost, as in the simulator.
+            NodeEvent::Deliver { .. } if self.frozen => return true,
+            event => {
+                if !self.dispatch(Some(event), None, out) {
+                    self.done = true;
+                    return false;
+                }
+            }
         }
         true
     }
 
-    /// Fires every timer due by the node's emulated clock.
+    /// Fires every timer due by the node's emulated clock. A frozen
+    /// node fires nothing — its due timers wait for the thaw.
     pub fn fire_due(&mut self, out: &mut Outbox<A::Msg>) {
-        if self.done {
+        if self.done || self.frozen {
             return;
         }
         loop {
@@ -295,7 +346,12 @@ impl<A: Automaton> NodeCore<A> {
     }
 
     /// The host instant of the earliest pending (uncancelled) timer.
+    /// `None` while frozen: the node has no wakeups of its own and
+    /// resumes only on the `Thaw` event.
     pub fn next_deadline(&mut self) -> Option<Instant> {
+        if self.frozen {
+            return None;
+        }
         while let Some(t) = self.timers.peek() {
             if self.cancelled.contains(&t.id) {
                 let t = self.timers.pop().expect("peeked");

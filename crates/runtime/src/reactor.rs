@@ -76,7 +76,7 @@ use rand::Rng;
 
 use crate::clock::EmulatedClock;
 use crate::harness::{BackendRun, RuntimeConfig};
-use crate::net::{NetCommand, Network, NodeEvent};
+use crate::net::{NetChaos, NetCommand, Network, NodeEvent};
 use crate::node::{NodeCore, Outbox};
 use crate::wheel::{TimerWheel, WheelKey};
 
@@ -161,16 +161,17 @@ impl<A: Automaton> Shared<A> {
         let _ = self.ready_tx.send(KICK);
     }
 
-    /// Network-delivery sink: push and wake. Deliveries to silent nodes
+    /// Network-delivery sink: push and wake. Events for silent nodes
     /// are dropped here — the node crashed before start, so the bytes
     /// would only pile up unread (the thread backend's sink does the
-    /// same; the network still counts the delivery).
-    fn deliver(&self, to: NodeId, from: NodeId, msg: A::Msg) {
+    /// same; the network still counts the delivery). Also carries the
+    /// chaos injector's `Freeze`/`Thaw` control events.
+    fn deliver(&self, to: NodeId, event: NodeEvent<A::Msg>) {
         if !self.active[to.index()] {
             return;
         }
         let cell = &self.cells[to.index()];
-        cell.inbox.lock().push(NodeEvent::Deliver { from, msg });
+        cell.inbox.lock().push(event);
         self.schedule(to.index());
     }
 }
@@ -379,14 +380,18 @@ where
             let rate = 1.0 + rng.gen::<f64>() * (cfg.theta - 1.0);
             let offset = cfg.max_offset * rng.gen::<f64>();
             let clock = EmulatedClock::new(epoch, offset, rate);
-            Some(NodeCore::new(
+            let mut core = NodeCore::new(
                 make_node(me),
                 me,
                 cfg.n,
                 clock,
                 ring.signer(me),
                 Arc::clone(&verifier),
-            ))
+            );
+            if let Some(obs) = &cfg.observer {
+                core.set_observer(Arc::clone(obs), epoch);
+            }
+            Some(core)
         };
         active.push(core.is_some());
         cells.push(Cell {
@@ -405,9 +410,17 @@ where
 
     let net_sink = {
         let shared = Arc::clone(&shared);
-        move |to: NodeId, from: NodeId, msg: A::Msg| shared.deliver(to, from, msg)
+        move |to: NodeId, event: NodeEvent<A::Msg>| shared.deliver(to, event)
     };
-    let network = Network::spawn(net_sink, cfg.n, cfg.d, cfg.u, cfg.seed);
+    let net_chaos = cfg.chaos.as_ref().map(|timeline| {
+        let cell = Arc::new(std::sync::OnceLock::new());
+        cell.set(epoch).expect("fresh cell");
+        NetChaos {
+            timeline: Arc::clone(timeline),
+            epoch: cell,
+        }
+    });
+    let network = Network::spawn(net_sink, cfg.n, cfg.d, cfg.u, cfg.seed, net_chaos);
 
     let (wheel_tx, wheel_rx) = channel::unbounded::<WheelCmd>();
     let granularity = wheel_granularity_ns(cfg.u, cfg.d);
@@ -480,7 +493,7 @@ where
         }
     }
     let _ = network.commands.send(NetCommand::Shutdown);
-    let messages_delivered = network.handle.join().unwrap_or(0);
+    let (messages_delivered, chaos_dropped) = network.handle.join().unwrap_or((0, 0));
     let _ = wheel_tx.send(WheelCmd::Stop);
     let _ = timer_handle.join();
     if let Some(payload) = worker_panic {
@@ -505,5 +518,6 @@ where
         pulse_log,
         violations,
         messages_delivered,
+        chaos_dropped,
     }
 }

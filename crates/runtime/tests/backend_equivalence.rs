@@ -34,6 +34,8 @@ fn cps_cfg(backend: Backend, n: usize, silent: Vec<usize>, seed: u64) -> (Runtim
         seed,
         backend,
         workers: None,
+        chaos: None,
+        observer: None,
     };
     (cfg, params)
 }
@@ -139,6 +141,8 @@ fn fleet_clients_follow_core_on_both_backends() {
             seed: 27,
             backend,
             workers: None,
+            chaos: None,
+            observer: None,
         };
         let report = run(&cfg, |me| {
             if me.index() < core {
@@ -185,6 +189,8 @@ fn reactor_hosts_hundreds_of_nodes() {
         seed: 29,
         backend: Backend::Reactor,
         workers: None,
+        chaos: None,
+        observer: None,
     };
     let report = run(&cfg, |me| {
         if me.index() < core {
@@ -244,7 +250,9 @@ fn reactor_propagates_handler_panics() {
         seed: 31,
         backend: Backend::Reactor,
         workers: Some(1),
+        chaos: None,
+        observer: None,
     };
-    let result = std::panic::catch_unwind(|| run(&cfg, |_me| Bomb));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&cfg, |_me| Bomb)));
     assert!(result.is_err(), "panic must propagate");
 }

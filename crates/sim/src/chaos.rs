@@ -1,0 +1,442 @@
+//! Fault-injection timelines and run observation hooks.
+//!
+//! A [`ChaosTimeline`] is a *static* schedule of faults — crash/recover
+//! windows, link cuts (partitions), delay storms and duplication floods —
+//! that both execution stacks consult while a run is in flight:
+//!
+//! * the simulator engines ([`Sim::run`](crate::Sim::run) and the sharded
+//!   executor) query it at event-dispatch and send-scheduling time;
+//! * the wall-clock runtime's network thread replays the same windows
+//!   against its delivery heap and emits freeze/thaw control events.
+//!
+//! Everything in a timeline is a **pure function of simulated time**:
+//! `down(v, t)`, `cut(from, to, t)` and friends depend only on the
+//! timeline data and the query instant, never on run state. That is what
+//! makes chaos injection compatible with the sharded executor's
+//! deterministic `(at, seq)` merge — lane threads may evaluate the
+//! predicates in parallel at their local event times and still agree,
+//! bit for bit, with the single-lane reference engine. Anything
+//! *stateful* (RNG draws for duplicate delays, trace counters, adversary
+//! callbacks) stays on the sequential reconcile path.
+//!
+//! Injection semantics, shared by every executor:
+//!
+//! * **Crash** — while a node is down it runs no handlers: deliveries to
+//!   it are counted as delivered by the network but lost
+//!   ([`Trace::chaos_drops`](crate::Trace::chaos_drops)), and its timers
+//!   are deferred to the recovery instant (so a timer-driven protocol
+//!   can attempt to rejoin) or dropped if the node never recovers.
+//!   Messages it sent before crashing stay in flight and arrive.
+//! * **Cut** — a message *sent* while its link is cut is lost; messages
+//!   already in flight when the cut begins still arrive. Cuts apply to
+//!   honest and adversarial sends alike (the network failed, not the
+//!   sender).
+//! * **Storm** — honest sends during the window take the maximum legal
+//!   delay `d` instead of a random draw. Still within the model's delay
+//!   bounds: a storm is legal scheduling, not a fault.
+//! * **Flood** — each honest send during the window is duplicated
+//!   `copies` extra times (network-level replay/duplication attack);
+//!   with `rush`, the duplicates travel at the minimum legal delay,
+//!   mimicking a rushing forwarder.
+//!
+//! A [`RunObserver`] is the continuous-checking hook: the engines call it
+//! at every pulse and protocol-violation record, from the sequential part
+//! of the executor, so an observer sees the identical ordered stream on
+//! the single-lane and sharded engines. `crusader_chaos` implements it
+//! with a streaming invariant checker.
+
+use crusader_crypto::NodeId;
+use crusader_time::Time;
+
+/// One crash window: node `node` is down during `[from, until)`
+/// (`until = None` means it never recovers within the run).
+#[derive(Clone, Copy, Debug)]
+pub struct CrashWindow {
+    /// The crashed node.
+    pub node: usize,
+    /// Crash instant (inclusive).
+    pub from: Time,
+    /// Recovery instant (exclusive), or `None` for crash-forever.
+    pub until: Option<Time>,
+}
+
+/// One link-cut window: messages sent during `[from, until)` between the
+/// `a` and `b` node sets (either direction) are lost.
+#[derive(Clone, Debug)]
+pub struct CutWindow {
+    /// First endpoint set, as an `n`-sized membership mask.
+    pub a: Vec<bool>,
+    /// Second endpoint set.
+    pub b: Vec<bool>,
+    /// Cut start (inclusive).
+    pub from: Time,
+    /// Heal instant (exclusive).
+    pub until: Time,
+}
+
+/// One delay-storm window: honest sends during `[from, until)` take the
+/// maximum legal delay instead of a random draw.
+#[derive(Clone, Copy, Debug)]
+pub struct StormWindow {
+    /// Storm start (inclusive).
+    pub from: Time,
+    /// Storm end (exclusive).
+    pub until: Time,
+}
+
+/// One flood window: honest sends during `[from, until)` are duplicated.
+#[derive(Clone, Copy, Debug)]
+pub struct FloodWindow {
+    /// Flood start (inclusive).
+    pub from: Time,
+    /// Flood end (exclusive).
+    pub until: Time,
+    /// Extra copies injected per send.
+    pub copies: u32,
+    /// Duplicates travel at the minimum legal delay (rushing combo).
+    pub rush: bool,
+}
+
+/// Per-send flood decision returned by [`ChaosTimeline::flood`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FloodSpec {
+    /// Extra copies to inject.
+    pub copies: u32,
+    /// Pin duplicate delays to the minimum legal delay.
+    pub rush: bool,
+}
+
+/// A static fault-injection schedule for an `n`-node run.
+///
+/// Windows are few (a scenario is hand-authored data), so the queries
+/// are linear scans — they sit on per-event paths where a handful of
+/// compares is cheaper than any index.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosTimeline {
+    n: usize,
+    crashes: Vec<CrashWindow>,
+    cuts: Vec<CutWindow>,
+    storms: Vec<StormWindow>,
+    floods: Vec<FloodWindow>,
+    /// Cached: which nodes appear in any crash window.
+    ever_down: Vec<bool>,
+}
+
+impl ChaosTimeline {
+    /// An empty timeline for an `n`-node system (injects nothing).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        ChaosTimeline {
+            n,
+            crashes: Vec::new(),
+            cuts: Vec::new(),
+            storms: Vec::new(),
+            floods: Vec::new(),
+            ever_down: vec![false; n],
+        }
+    }
+
+    /// The system size this timeline was built for.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the timeline injects nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.cuts.is_empty()
+            && self.storms.is_empty()
+            && self.floods.is_empty()
+    }
+
+    /// Adds a crash window for `node` over `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range, `from` is not positive (a node
+    /// down at time zero would skip `on_init`, which no executor
+    /// supports), or the window is empty.
+    pub fn crash(&mut self, node: usize, from: Time, until: Option<Time>) {
+        assert!(node < self.n, "crash node {node} out of range (n = {})", self.n);
+        assert!(from > Time::ZERO, "crash windows must start after time 0");
+        if let Some(until) = until {
+            assert!(until > from, "empty crash window");
+        }
+        self.ever_down[node] = true;
+        self.crashes.push(CrashWindow { node, from, until });
+    }
+
+    /// Adds a link-cut window between node sets `a` and `b` (both
+    /// directions) over `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either mask has the wrong length or the window is empty.
+    pub fn cut_link(&mut self, a: Vec<bool>, b: Vec<bool>, from: Time, until: Time) {
+        assert_eq!(a.len(), self.n, "cut mask length");
+        assert_eq!(b.len(), self.n, "cut mask length");
+        assert!(until > from, "empty cut window");
+        self.cuts.push(CutWindow { a, b, from, until });
+    }
+
+    /// Adds a delay-storm window over `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn storm(&mut self, from: Time, until: Time) {
+        assert!(until > from, "empty storm window");
+        self.storms.push(StormWindow { from, until });
+    }
+
+    /// Adds a flood window over `[from, until)` injecting `copies` extra
+    /// copies per send (`rush` pins them to the minimum legal delay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or `copies` is zero.
+    pub fn flood_window(&mut self, from: Time, until: Time, copies: u32, rush: bool) {
+        assert!(until > from, "empty flood window");
+        assert!(copies > 0, "flood with zero copies");
+        self.floods.push(FloodWindow {
+            from,
+            until,
+            copies,
+            rush,
+        });
+    }
+
+    /// Whether `node` is down (crashed) at `at`.
+    #[inline]
+    #[must_use]
+    pub fn down(&self, node: NodeId, at: Time) -> bool {
+        if !self.ever_down[node.index()] {
+            return false;
+        }
+        self.crashes.iter().any(|w| {
+            w.node == node.index() && at >= w.from && w.until.is_none_or(|u| at < u)
+        })
+    }
+
+    /// The instant a node down at `at` is back up, accounting for
+    /// overlapping or adjacent crash windows; `None` if it never
+    /// recovers. Returns `Some(at)` untouched if the node is up.
+    #[must_use]
+    pub fn resume_at(&self, node: NodeId, at: Time) -> Option<Time> {
+        let mut t = at;
+        // Fixpoint over the (few) windows: step past every window that
+        // covers the candidate instant until none does.
+        loop {
+            let covering = self.crashes.iter().find(|w| {
+                w.node == node.index() && t >= w.from && w.until.is_none_or(|u| t < u)
+            });
+            match covering {
+                None => return Some(t),
+                Some(w) => match w.until {
+                    None => return None,
+                    Some(u) => t = u,
+                },
+            }
+        }
+    }
+
+    /// Whether a message sent from `from` to `to` at `at` is cut.
+    #[inline]
+    #[must_use]
+    pub fn cut(&self, from: NodeId, to: NodeId, at: Time) -> bool {
+        if self.cuts.is_empty() {
+            return false;
+        }
+        let (f, t) = (from.index(), to.index());
+        self.cuts.iter().any(|w| {
+            at >= w.from
+                && at < w.until
+                && ((w.a[f] && w.b[t]) || (w.b[f] && w.a[t]))
+        })
+    }
+
+    /// Whether a delay storm is active at `at`.
+    #[inline]
+    #[must_use]
+    pub fn storming(&self, at: Time) -> bool {
+        self.storms.iter().any(|w| at >= w.from && at < w.until)
+    }
+
+    /// The flood decision for a send at `at` (first matching window).
+    #[inline]
+    #[must_use]
+    pub fn flood(&self, at: Time) -> Option<FloodSpec> {
+        self.floods
+            .iter()
+            .find(|w| at >= w.from && at < w.until)
+            .map(|w| FloodSpec {
+                copies: w.copies,
+                rush: w.rush,
+            })
+    }
+
+    /// Every crash/recover transition as `(instant, node, down)`, sorted
+    /// by instant — the wall-clock runtime's injector walks this list to
+    /// emit freeze/thaw control events.
+    #[must_use]
+    pub fn crash_transitions(&self) -> Vec<(Time, usize, bool)> {
+        let mut out = Vec::with_capacity(self.crashes.len() * 2);
+        for w in &self.crashes {
+            out.push((w.from, w.node, true));
+            if let Some(u) = w.until {
+                out.push((u, w.node, false));
+            }
+        }
+        out.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite times").then(x.1.cmp(&y.1)));
+        out
+    }
+
+    /// The crash windows (read access for reporting).
+    #[must_use]
+    pub fn crashes(&self) -> &[CrashWindow] {
+        &self.crashes
+    }
+
+    /// Scales every window boundary by `factor` (used with time-stretched
+    /// replays, where `d`, `u` and all deadlines scale together).
+    #[must_use]
+    pub fn stretched(&self, factor: f64) -> ChaosTimeline {
+        let s = |t: Time| Time::from_secs(t.as_secs() * factor);
+        ChaosTimeline {
+            n: self.n,
+            crashes: self
+                .crashes
+                .iter()
+                .map(|w| CrashWindow {
+                    node: w.node,
+                    from: s(w.from),
+                    until: w.until.map(s),
+                })
+                .collect(),
+            cuts: self
+                .cuts
+                .iter()
+                .map(|w| CutWindow {
+                    a: w.a.clone(),
+                    b: w.b.clone(),
+                    from: s(w.from),
+                    until: s(w.until),
+                })
+                .collect(),
+            storms: self
+                .storms
+                .iter()
+                .map(|w| StormWindow {
+                    from: s(w.from),
+                    until: s(w.until),
+                })
+                .collect(),
+            floods: self
+                .floods
+                .iter()
+                .map(|w| FloodWindow {
+                    from: s(w.from),
+                    until: s(w.until),
+                    copies: w.copies,
+                    rush: w.rush,
+                })
+                .collect(),
+            ever_down: self.ever_down.clone(),
+        }
+    }
+}
+
+/// Continuous run observation: called by the engines, in event order,
+/// from their sequential sections.
+///
+/// Methods take `&self` because the sharded executor shares the observer
+/// behind an `Arc`; implementations use interior mutability. Calls are
+/// never concurrent — both executors invoke the observer only from the
+/// single thread that owns the trace.
+pub trait RunObserver: Send + Sync + std::fmt::Debug {
+    /// Node `node` emitted pulse `index` at real time `at`.
+    fn on_pulse(&self, node: NodeId, index: u64, at: Time);
+
+    /// A protocol violation was recorded at real time `at` (`node = None`
+    /// for engine-level violations such as blocked forgeries).
+    fn on_violation(&self, node: Option<NodeId>, text: &str, at: Time);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: f64) -> Time {
+        Time::from_millis(ms)
+    }
+
+    #[test]
+    fn down_and_resume() {
+        let mut c = ChaosTimeline::new(4);
+        c.crash(1, t(10.0), Some(t(20.0)));
+        c.crash(1, t(20.0), Some(t(25.0))); // adjacent window
+        c.crash(2, t(5.0), None);
+        let v1 = NodeId::new(1);
+        let v2 = NodeId::new(2);
+        assert!(!c.down(v1, t(9.9)));
+        assert!(c.down(v1, t(10.0)));
+        assert!(c.down(v1, t(24.9)));
+        assert!(!c.down(v1, t(25.0)));
+        assert_eq!(c.resume_at(v1, t(12.0)), Some(t(25.0)));
+        assert_eq!(c.resume_at(v2, t(6.0)), None);
+        assert_eq!(c.resume_at(NodeId::new(0), t(6.0)), Some(t(6.0)));
+    }
+
+    #[test]
+    fn cut_is_bidirectional_and_windowed() {
+        let mut c = ChaosTimeline::new(4);
+        let a = vec![true, true, false, false];
+        let b = vec![false, false, true, true];
+        c.cut_link(a, b, t(10.0), t(20.0));
+        let (n0, n2) = (NodeId::new(0), NodeId::new(2));
+        assert!(c.cut(n0, n2, t(15.0)));
+        assert!(c.cut(n2, n0, t(15.0)));
+        assert!(!c.cut(n0, NodeId::new(1), t(15.0))); // same side
+        assert!(!c.cut(n0, n2, t(9.0)));
+        assert!(!c.cut(n0, n2, t(20.0)));
+    }
+
+    #[test]
+    fn storm_flood_queries() {
+        let mut c = ChaosTimeline::new(2);
+        c.storm(t(1.0), t(2.0));
+        c.flood_window(t(3.0), t(4.0), 2, true);
+        assert!(c.storming(t(1.5)));
+        assert!(!c.storming(t(2.0)));
+        assert_eq!(
+            c.flood(t(3.5)),
+            Some(FloodSpec {
+                copies: 2,
+                rush: true
+            })
+        );
+        assert_eq!(c.flood(t(4.0)), None);
+    }
+
+    #[test]
+    fn transitions_sorted() {
+        let mut c = ChaosTimeline::new(4);
+        c.crash(3, t(30.0), Some(t(40.0)));
+        c.crash(1, t(10.0), None);
+        assert_eq!(
+            c.crash_transitions(),
+            vec![(t(10.0), 1, true), (t(30.0), 3, true), (t(40.0), 3, false)]
+        );
+    }
+
+    #[test]
+    fn stretch_scales_windows() {
+        let mut c = ChaosTimeline::new(2);
+        c.crash(1, t(10.0), Some(t(20.0)));
+        let s = c.stretched(2.0);
+        assert!(s.down(NodeId::new(1), t(30.0)));
+        assert!(!s.down(NodeId::new(1), t(15.0)));
+    }
+}

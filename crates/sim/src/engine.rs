@@ -9,6 +9,7 @@ use rand::SeedableRng;
 
 use crate::adversary::{AdvEffect, Adversary, AdversaryApi};
 use crate::automaton::{Automaton, Context};
+use crate::chaos::{ChaosTimeline, RunObserver};
 use crate::event::{EventKind, EventQueue, Payload, TimerId, TimerSlab};
 use crate::network::{DelayModel, LinkConfig};
 use crate::trace::Trace;
@@ -49,6 +50,8 @@ pub struct SimBuilder {
     horizon: Time,
     max_pulses: Option<u64>,
     max_events: u64,
+    chaos: Option<Arc<ChaosTimeline>>,
+    observer: Option<Arc<dyn RunObserver>>,
 }
 
 impl SimBuilder {
@@ -77,6 +80,8 @@ impl SimBuilder {
             horizon: Time::from_secs(120.0),
             max_pulses: None,
             max_events: 50_000_000,
+            chaos: None,
+            observer: None,
         }
     }
 
@@ -156,6 +161,30 @@ impl SimBuilder {
         self
     }
 
+    /// Installs a chaos fault-injection timeline (see
+    /// [`ChaosTimeline`]). Both executors consult it at dispatch and
+    /// send-scheduling time; injection is deterministic under the
+    /// sharded `(at, seq)` merge because every timeline query is a pure
+    /// function of simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at [`build`](Self::build)) if the timeline was built for
+    /// a different `n`.
+    #[must_use]
+    pub fn chaos(mut self, timeline: Arc<ChaosTimeline>) -> Self {
+        self.chaos = Some(timeline);
+        self
+    }
+
+    /// Installs a continuous run observer, called in event order at
+    /// every pulse and violation (see [`RunObserver`]).
+    #[must_use]
+    pub fn observer(mut self, observer: Arc<dyn RunObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
     /// Builds the simulation.
     ///
     /// `make_node` constructs the automaton for each honest node;
@@ -204,6 +233,16 @@ impl SimBuilder {
             .map(|v| self.faulty.contains(&v))
             .collect();
         let adversary_passive = adversary.is_passive();
+        if let Some(chaos) = &self.chaos {
+            assert_eq!(
+                chaos.n(),
+                self.n,
+                "chaos timeline built for a different system size"
+            );
+        }
+        // An empty timeline injects nothing; drop it so the per-event
+        // hot paths keep their zero-cost `None` fast path.
+        let chaos = self.chaos.filter(|c| !c.is_empty());
         Sim {
             n: self.n,
             faulty: self.faulty.clone(),
@@ -234,6 +273,8 @@ impl SimBuilder {
                 max_pulses: self.max_pulses,
                 max_events: self.max_events,
             },
+            chaos,
+            observer: self.observer,
             rng,
         }
     }
@@ -337,6 +378,15 @@ impl<M> BroadcastArena<M> {
         }
     }
 
+    /// Registers `extra` additional pending deliveries against a slot
+    /// (chaos flood duplicates of an in-flight broadcast leg).
+    fn add_refs(&mut self, id: u32, extra: u32) {
+        let slot = self.slots[id as usize]
+            .as_mut()
+            .expect("local payload pointing at empty broadcast slot");
+        slot.remaining += extra;
+    }
+
     /// Releases one delivery without reading the payload (a faulty
     /// recipient under a passive adversary).
     fn release(&mut self, id: u32) {
@@ -402,6 +452,11 @@ pub struct Sim<A: Automaton> {
     pub(crate) pulse_recorded: bool,
     pub(crate) trace: Trace,
     pub(crate) limits: RunLimits,
+    /// Fault-injection schedule; `None` (the common case) keeps the
+    /// per-event checks to a single branch.
+    pub(crate) chaos: Option<Arc<ChaosTimeline>>,
+    /// Continuous pulse/violation observer (invariant checking).
+    pub(crate) observer: Option<Arc<dyn RunObserver>>,
     pub(crate) rng: SmallRng,
 }
 
@@ -453,6 +508,9 @@ impl<A: Automaton> Sim<A> {
             self.now = event.at;
             self.trace.events_processed += 1;
             if self.trace.events_processed > self.limits.max_events {
+                if let Some(obs) = &self.observer {
+                    obs.on_violation(None, "event cap exceeded", self.now);
+                }
                 self.trace
                     .violations
                     .push("event cap exceeded".to_owned());
@@ -461,6 +519,18 @@ impl<A: Automaton> Sim<A> {
             match event.kind {
                 EventKind::Deliver { from, to, msg } => self.deliver(from, to, msg),
                 EventKind::Timer { node, id } => {
+                    // A crashed node runs no handlers: defer the timer —
+                    // *without* firing the slab slot, so a later cancel
+                    // still matches — to the recovery instant, or drop
+                    // it outright if the node never comes back.
+                    if let Some(chaos) = &self.chaos {
+                        if chaos.down(node, self.now) {
+                            if let Some(resume) = chaos.resume_at(node, self.now) {
+                                self.queue.push(resume, EventKind::Timer { node, id });
+                            }
+                            continue;
+                        }
+                    }
                     // A stale stamp means the timer was cancelled after
                     // this event was scheduled; skip it.
                     if !self.timers.fire(id) {
@@ -494,6 +564,17 @@ impl<A: Automaton> Sim<A> {
 
     fn deliver(&mut self, from: NodeId, to: NodeId, msg: Payload<A::Msg>) {
         self.trace.messages_delivered += 1;
+        // A crashed recipient loses the delivery (the network delivered
+        // it; nobody was listening).
+        if let Some(chaos) = &self.chaos {
+            if chaos.down(to, self.now) {
+                self.trace.chaos_drops += 1;
+                if let Payload::Local(id) = msg {
+                    self.broadcasts.release(id);
+                }
+                return;
+            }
+        }
         if self.faulty_mask[to.index()] {
             // A passive adversary never receives an `AdversaryApi`, so the
             // knowledge tracker is unobservable and learning is skipped
@@ -610,11 +691,24 @@ impl<A: Automaton> Sim<A> {
                     self.timers.cancel(id);
                 }
                 Effect::Pulse { index } => {
+                    let before = self.trace.violations.len();
                     self.trace.record_pulse(v, index, self.now);
+                    if let Some(obs) = &self.observer {
+                        // `record_pulse` may itself flag an out-of-order
+                        // pulse; surface that to the observer too.
+                        for text in &self.trace.violations[before..] {
+                            obs.on_violation(Some(v), text, self.now);
+                        }
+                        obs.on_pulse(v, index, self.now);
+                    }
                     self.pulse_recorded = true;
                 }
                 Effect::Violation(text) => {
-                    self.trace.violations.push(format!("{v}: {text}"));
+                    let text = format!("{v}: {text}");
+                    if let Some(obs) = &self.observer {
+                        obs.on_violation(Some(v), &text, self.now);
+                    }
+                    self.trace.violations.push(text);
                 }
             }
         }
@@ -629,8 +723,31 @@ impl<A: Automaton> Sim<A> {
     }
 
     fn schedule_honest_send(&mut self, from: NodeId, to: NodeId, msg: Payload<A::Msg>) {
+        // Chaos hooks, in a fixed order mirrored exactly by the sharded
+        // executor's reconcile (any divergence here would desynchronize
+        // the shared RNG stream):
+        //   1. link cut — message lost, no delay draw, no adversary
+        //      callback (the network failed, nothing entered it);
+        //   2. delay storm — pin to the max legal delay, skipping the
+        //      draw;
+        //   3. flood — after the original push, inject duplicates.
+        if let Some(chaos) = self.chaos.as_deref() {
+            if chaos.cut(from, to, self.now) {
+                self.trace.chaos_drops += 1;
+                if let Payload::Local(id) = msg {
+                    self.broadcasts.release(id);
+                }
+                return;
+            }
+        }
         let bounds = self.link_bounds(from, to);
-        let delay = if self.delay_model == DelayModel::AdversaryChoice {
+        let storming = self
+            .chaos
+            .as_deref()
+            .is_some_and(|c| c.storming(self.now));
+        let delay = if storming {
+            bounds.1
+        } else if self.delay_model == DelayModel::AdversaryChoice {
             match self.adversary.pick_delay(from, to, bounds) {
                 Some(d) => {
                     assert!(
@@ -647,8 +764,50 @@ impl<A: Automaton> Sim<A> {
             self.delay_model.draw(from, to, bounds, &mut self.rng)
         };
         self.with_adversary(|adv, api| adv.on_honest_send(from, to, api));
-        self.queue
-            .push(self.now + delay, EventKind::Deliver { from, to, msg });
+        let flood = self.chaos.as_deref().and_then(|c| c.flood(self.now));
+        match flood {
+            None => {
+                self.queue
+                    .push(self.now + delay, EventKind::Deliver { from, to, msg });
+            }
+            Some(spec) => {
+                // Duplicate the payload before the original is consumed;
+                // `Local` copies bump the arena refcount so the slot
+                // survives the extra deliveries.
+                if let Payload::Local(id) = msg {
+                    self.broadcasts.add_refs(id, spec.copies);
+                }
+                for _ in 0..spec.copies {
+                    let copy = self.duplicate_payload(&msg);
+                    let copy_delay = if spec.rush {
+                        bounds.0
+                    } else {
+                        DelayModel::Random.draw(from, to, bounds, &mut self.rng)
+                    };
+                    self.trace.chaos_duplicates += 1;
+                    self.queue.push(
+                        self.now + copy_delay,
+                        EventKind::Deliver {
+                            from,
+                            to,
+                            msg: copy,
+                        },
+                    );
+                }
+                self.queue
+                    .push(self.now + delay, EventKind::Deliver { from, to, msg });
+            }
+        }
+    }
+
+    /// Clones a payload for a chaos flood copy (`Local` slots must have
+    /// had their refcount bumped by the caller).
+    fn duplicate_payload(&self, msg: &Payload<A::Msg>) -> Payload<A::Msg> {
+        match msg {
+            Payload::Owned(m) => Payload::Owned(m.clone()),
+            Payload::Shared(arc) => Payload::Shared(Arc::clone(arc)),
+            Payload::Local(id) => Payload::Local(*id),
+        }
     }
 
     fn with_adversary<F>(&mut self, f: F)
@@ -698,11 +857,23 @@ impl<A: Automaton> Sim<A> {
                         self.faulty.contains(&from),
                         "adversary impersonated honest node {from}"
                     );
+                    // A cut link fails adversarial traffic too — the
+                    // network is down, not the sender. Checked before
+                    // authorization: a message that never enters the
+                    // network is not a forgery attempt.
+                    if let Some(chaos) = self.chaos.as_deref() {
+                        if chaos.cut(from, to, self.now) {
+                            self.trace.chaos_drops += 1;
+                            continue;
+                        }
+                    }
                     if let Err(e) = self.knowledge.authorize(&msg, self.now) {
                         self.trace.forgeries_blocked += 1;
-                        self.trace
-                            .violations
-                            .push(format!("blocked forgery: {e}"));
+                        let text = format!("blocked forgery: {e}");
+                        if let Some(obs) = &self.observer {
+                            obs.on_violation(None, &text, self.now);
+                        }
+                        self.trace.violations.push(text);
                         continue;
                     }
                     let bounds = self.link_bounds(from, to);

@@ -1305,7 +1305,7 @@ mod tests {
             let mut oracle: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
             let mut next_seq = 0u64;
             let mut now = 0.0f64; // real time of the latest pop
-            let mut push = |q: &mut EventQueue<u64>,
+            let push = |q: &mut EventQueue<u64>,
                             oracle: &mut BinaryHeap<Reverse<(u64, u64)>>,
                             seq: &mut u64,
                             at: f64| {

@@ -99,12 +99,14 @@ mod event;
 mod network;
 mod trace;
 
+pub mod chaos;
 pub mod metrics;
 pub mod shard;
 pub mod synchronous;
 
 pub use adversary::{Adversary, AdversaryApi, SilentAdversary};
 pub use automaton::{Automaton, Context, TimerId};
+pub use chaos::{ChaosTimeline, FloodSpec, RunObserver};
 pub use engine::{Sim, SimBuilder};
 pub use network::{DelayModel, LinkConfig};
 pub use shard::{MailboxStats, ShardedSim};

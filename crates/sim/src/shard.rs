@@ -96,6 +96,7 @@ use rand::rngs::SmallRng;
 
 use crate::adversary::{AdvEffect, Adversary, AdversaryApi};
 use crate::automaton::{Automaton, Context};
+use crate::chaos::{ChaosTimeline, RunObserver};
 use crate::engine::{Effect, NodeCtx, RunLimits, Sim};
 use crate::event::{EventKey, EventKind, EventQueue, Payload, TimerId, TimerSlab};
 use crate::network::{DelayModel, LinkConfig};
@@ -158,8 +159,25 @@ enum RecordBody<M> {
         to: NodeId,
         msg: Payload<M>,
     },
-    /// A cancelled (stale) timer pop: counted, nothing else.
+    /// A cancelled (stale) timer pop: counted, nothing else. Also used
+    /// for a crashed node's timer when the node never recovers — the
+    /// single-lane engine likewise counts the pop and drops it.
     Stale,
+    /// A delivery to a chaos-crashed node: the reconcile counts it as
+    /// delivered *and* chaos-dropped, running no handler.
+    ChaosDrop,
+    /// A crashed node's timer deferred to a recovery instant inside the
+    /// current window: the lane re-pushed it provisionally (same
+    /// machinery as `ReplayEffect::TimerInWindow`); the reconcile
+    /// assigns `pending[slot]` its true sequence number.
+    ChaosTimerInWindow { slot: u32 },
+    /// A crashed node's timer deferred past the window: the reconcile
+    /// pushes it at the recovery instant with a true sequence number.
+    ChaosTimerBeyond {
+        node: NodeId,
+        id: TimerId,
+        resume: Time,
+    },
 }
 
 /// One popped event plus everything the reconcile needs to replay it.
@@ -202,6 +220,10 @@ struct EngineCtx {
     n: usize,
     lanes: usize,
     horizon: Time,
+    /// Chaos fault-injection schedule. Lane threads may query it freely:
+    /// every query is a pure function of the event time, so parallel
+    /// lanes agree with the single-lane engine by construction.
+    chaos: Option<Arc<ChaosTimeline>>,
 }
 
 /// One shard: the nodes it owns, their timers, and their event queue.
@@ -267,7 +289,12 @@ impl<A: Automaton> Lane<A> {
             let body = match event.kind {
                 EventKind::Deliver { from, to, msg } => {
                     self.delivers_popped += 1;
-                    if sh.faulty_mask[to.index()] {
+                    // Mirror of the single-lane `deliver`: a chaos-crashed
+                    // recipient loses the message before the faulty check.
+                    if sh.chaos.as_deref().is_some_and(|c| c.down(to, at)) {
+                        drop(msg);
+                        RecordBody::ChaosDrop
+                    } else if sh.faulty_mask[to.index()] {
                         RecordBody::FaultyDeliver { from, to, msg }
                     } else {
                         let msg = msg.into_owned();
@@ -282,7 +309,29 @@ impl<A: Automaton> Lane<A> {
                     }
                 }
                 EventKind::Timer { node, id } => {
-                    if !self.timers.fire(id) || sh.faulty_mask[node.index()] {
+                    // Mirror of the single-lane run loop: a crashed node's
+                    // timer is deferred to its recovery instant *before*
+                    // the slab fire (so a later cancel still matches), or
+                    // dropped like a stale pop if it never recovers. An
+                    // in-window recovery re-pushes provisionally, exactly
+                    // like an in-window `SetTimer`.
+                    if sh.chaos.as_deref().is_some_and(|c| c.down(node, at)) {
+                        let chaos = sh.chaos.as_deref().expect("down implies timeline");
+                        match chaos.resume_at(node, at) {
+                            None => RecordBody::Stale,
+                            Some(resume) if window.contains(resume) && resume <= sh.horizon => {
+                                let slot = self.provisional;
+                                self.provisional += 1;
+                                self.queue.push_with_seq(
+                                    resume,
+                                    PROVISIONAL_BASE + u64::from(slot),
+                                    EventKind::Timer { node, id },
+                                );
+                                RecordBody::ChaosTimerInWindow { slot }
+                            }
+                            Some(resume) => RecordBody::ChaosTimerBeyond { node, id, resume },
+                        }
+                    } else if !self.timers.fire(id) || sh.faulty_mask[node.index()] {
                         RecordBody::Stale
                     } else {
                         let effects = self.run_handler(sh, node, at, Some(window), |n, ctx| {
@@ -471,6 +520,9 @@ pub struct ShardedSim<A: Automaton> {
     /// Pooled adversary effect buffer.
     adv_effects: Vec<AdvEffect<A::Msg>>,
     pulse_recorded: bool,
+    /// Continuous pulse/violation observer, invoked only from the
+    /// sequential reconcile (same ordered stream as single-lane).
+    observer: Option<Arc<dyn RunObserver>>,
     posted: u64,
     /// Whether window work is dispatched to the persistent worker pool.
     /// Defaults to `available_parallelism() > 1`; on a single-CPU host
@@ -593,6 +645,7 @@ impl<A: Automaton> ShardedSim<A> {
                 n: sim.n,
                 lanes,
                 horizon: sim.limits.horizon,
+                chaos: sim.chaos,
             }),
             adv_signer: sim.adv_signer,
             knowledge: sim.knowledge,
@@ -607,6 +660,7 @@ impl<A: Automaton> ShardedSim<A> {
             adv_queue: BinaryHeap::new(),
             adv_effects: Vec::new(),
             pulse_recorded: false,
+            observer: sim.observer,
             posted: 0,
             parallel: std::thread::available_parallelism().is_ok_and(|p| p.get() > 1),
             pool: None,
@@ -859,6 +913,9 @@ impl<A: Automaton> ShardedSim<A> {
             self.now = key.at();
             self.trace.events_processed += 1;
             if self.trace.events_processed > self.limits.max_events {
+                if let Some(obs) = &self.observer {
+                    obs.on_violation(None, "event cap exceeded", self.now);
+                }
                 self.trace.violations.push("event cap exceeded".to_owned());
                 return Flow::Stop;
             }
@@ -872,6 +929,21 @@ impl<A: Automaton> ShardedSim<A> {
                     let rec = records[l].next().expect("peeked record present");
                     match rec.body {
                         RecordBody::Stale => {}
+                        RecordBody::ChaosDrop => {
+                            self.trace.messages_delivered += 1;
+                            self.trace.chaos_drops += 1;
+                        }
+                        RecordBody::ChaosTimerInWindow { slot } => {
+                            pending[l][slot as usize] = self.alloc_seq();
+                        }
+                        RecordBody::ChaosTimerBeyond { node, id, resume } => {
+                            let seq = self.alloc_seq();
+                            self.lane_mut(node).queue.push_with_seq(
+                                resume,
+                                seq,
+                                EventKind::Timer { node, id },
+                            );
+                        }
                         RecordBody::FaultyDeliver { from, to, msg } => {
                             self.trace.messages_delivered += 1;
                             if !self.adversary_passive {
@@ -940,11 +1012,25 @@ impl<A: Automaton> ShardedSim<A> {
                         .push_with_seq(fire_at, seq, EventKind::Timer { node, id });
                 }
                 ReplayEffect::Pulse { node, index } => {
+                    let before = self.trace.violations.len();
                     self.trace.record_pulse(node, index, self.now);
+                    if let Some(obs) = &self.observer {
+                        // `record_pulse` may itself flag an out-of-order
+                        // pulse; surface that to the observer too (same
+                        // order as the single-lane engine).
+                        for text in &self.trace.violations[before..] {
+                            obs.on_violation(Some(node), text, self.now);
+                        }
+                        obs.on_pulse(node, index, self.now);
+                    }
                     self.pulse_recorded = true;
                 }
                 ReplayEffect::Violation { node, text } => {
-                    self.trace.violations.push(format!("{node}: {text}"));
+                    let text = format!("{node}: {text}");
+                    if let Some(obs) = &self.observer {
+                        obs.on_violation(Some(node), &text, self.now);
+                    }
+                    self.trace.violations.push(text);
                 }
             }
         }
@@ -966,7 +1052,14 @@ impl<A: Automaton> ShardedSim<A> {
             EventKind::Deliver { from, to, msg } => {
                 self.lanes[l].delivers_popped += 1;
                 self.trace.messages_delivered += 1;
-                if self.cx.faulty_mask[to.index()] {
+                if self
+                    .cx
+                    .chaos
+                    .as_deref()
+                    .is_some_and(|c| c.down(to, self.now))
+                {
+                    self.trace.chaos_drops += 1;
+                } else if self.cx.faulty_mask[to.index()] {
                     if !self.adversary_passive {
                         if msg.needs_learning() {
                             self.knowledge.learn_all(msg.as_ref(), self.now);
@@ -980,7 +1073,29 @@ impl<A: Automaton> ShardedSim<A> {
                 }
             }
             EventKind::Timer { node, id } => {
-                if self.lanes[l].timers.fire(id) && !self.cx.faulty_mask[node.index()] {
+                if self
+                    .cx
+                    .chaos
+                    .as_deref()
+                    .is_some_and(|c| c.down(node, self.now))
+                {
+                    // Inline = single-lane style: defer with a true
+                    // sequence number (recovery is always after `now`,
+                    // hence outside this single-instant window).
+                    let resume = self
+                        .cx
+                        .chaos
+                        .as_deref()
+                        .and_then(|c| c.resume_at(node, self.now));
+                    if let Some(resume) = resume {
+                        let seq = self.alloc_seq();
+                        self.lane_mut(node).queue.push_with_seq(
+                            resume,
+                            seq,
+                            EventKind::Timer { node, id },
+                        );
+                    }
+                } else if self.lanes[l].timers.fire(id) && !self.cx.faulty_mask[node.index()] {
                     self.run_handler_inline(node, |n, ctx| n.on_timer(id, ctx));
                 }
             }
@@ -1010,11 +1125,30 @@ impl<A: Automaton> ShardedSim<A> {
     /// node's lane — in that exact order, so RNG consumption and sequence
     /// numbers match the single-lane engine step for step.
     fn schedule_honest_send(&mut self, from: NodeId, to: NodeId, msg: Payload<A::Msg>) {
+        // Chaos hooks in the exact single-lane order (cut, storm, flood);
+        // see `Sim::schedule_honest_send` — any divergence would
+        // desynchronize the shared RNG stream.
+        if self
+            .cx
+            .chaos
+            .as_deref()
+            .is_some_and(|c| c.cut(from, to, self.now))
+        {
+            self.trace.chaos_drops += 1;
+            return;
+        }
         let bounds = self.link.bounds_masked(
             self.cx.faulty_mask[from.index()],
             self.cx.faulty_mask[to.index()],
         );
-        let delay = if self.delay_model == DelayModel::AdversaryChoice {
+        let storming = self
+            .cx
+            .chaos
+            .as_deref()
+            .is_some_and(|c| c.storming(self.now));
+        let delay = if storming {
+            bounds.1
+        } else if self.delay_model == DelayModel::AdversaryChoice {
             match self.adversary.pick_delay(from, to, bounds) {
                 Some(d) => {
                     assert!(
@@ -1031,6 +1165,26 @@ impl<A: Automaton> ShardedSim<A> {
             self.delay_model.draw(from, to, bounds, &mut self.rng)
         };
         self.with_adversary(|adv, api| adv.on_honest_send(from, to, api));
+        let flood = self.cx.chaos.as_deref().and_then(|c| c.flood(self.now));
+        if let Some(spec) = flood {
+            // Duplicates first, then the original — the single-lane
+            // engine's push (and therefore sequence) order.
+            for _ in 0..spec.copies {
+                let copy = msg.clone();
+                let copy_delay = if spec.rush {
+                    bounds.0
+                } else {
+                    DelayModel::Random.draw(from, to, bounds, &mut self.rng)
+                };
+                self.trace.chaos_duplicates += 1;
+                let seq = self.alloc_seq();
+                self.posted += 1;
+                let at = self.now + copy_delay;
+                self.lane_mut(to)
+                    .queue
+                    .push_with_seq(at, seq, EventKind::Deliver { from, to, msg: copy });
+            }
+        }
         let seq = self.alloc_seq();
         self.posted += 1;
         let at = self.now + delay;
@@ -1086,11 +1240,24 @@ impl<A: Automaton> ShardedSim<A> {
                         self.faulty.contains(&from),
                         "adversary impersonated honest node {from}"
                     );
+                    // Mirror of the single-lane engine: a cut link fails
+                    // adversarial traffic before the forgery gate.
+                    if self
+                        .cx
+                        .chaos
+                        .as_deref()
+                        .is_some_and(|c| c.cut(from, to, self.now))
+                    {
+                        self.trace.chaos_drops += 1;
+                        continue;
+                    }
                     if let Err(e) = self.knowledge.authorize(&msg, self.now) {
                         self.trace.forgeries_blocked += 1;
-                        self.trace
-                            .violations
-                            .push(format!("blocked forgery: {e}"));
+                        let text = format!("blocked forgery: {e}");
+                        if let Some(obs) = &self.observer {
+                            obs.on_violation(None, &text, self.now);
+                        }
+                        self.trace.violations.push(text);
                         continue;
                     }
                     let bounds = self.link.bounds_masked(
@@ -1287,6 +1454,8 @@ mod tests {
         assert_eq!(single.messages_delivered, sharded.messages_delivered);
         assert_eq!(single.events_processed, sharded.events_processed);
         assert_eq!(single.finished_at, sharded.finished_at);
+        assert_eq!(single.chaos_drops, sharded.chaos_drops);
+        assert_eq!(single.chaos_duplicates, sharded.chaos_duplicates);
     }
 
     fn build(n: usize, seed: u64, faulty: &[usize], adversarial: bool) -> Sim<Relay> {
@@ -1506,6 +1675,56 @@ mod tests {
             .sharded(2);
         sim.set_parallel(true);
         let _ = sim.run();
+    }
+
+    /// Chaos injection (crash windows with in-window recovery, cuts,
+    /// storms, rushing floods) must stay bit-identical across lane
+    /// counts and both scheduling paths.
+    #[test]
+    fn sharded_matches_single_lane_under_chaos() {
+        use std::sync::Arc;
+
+        use crate::chaos::ChaosTimeline;
+
+        let timeline = |n: usize| {
+            let mut c = ChaosTimeline::new(n);
+            // Recovery at 6 ms lands mid-run; node n-1 stays down. The
+            // second window recovers within the d − ũ lookahead (0.8 ms),
+            // exercising the provisional in-window timer re-push.
+            c.crash(0, Time::from_millis(2.0), Some(Time::from_millis(6.0)));
+            c.crash(1, Time::from_millis(1.9), Some(Time::from_millis(2.05)));
+            c.crash(n - 1, Time::from_millis(9.0), None);
+            let half = n / 2;
+            let a: Vec<bool> = (0..n).map(|i| i < half).collect();
+            let b: Vec<bool> = (0..n).map(|i| i >= half).collect();
+            c.cut_link(a, b, Time::from_millis(3.0), Time::from_millis(5.0));
+            c.storm(Time::from_millis(7.0), Time::from_millis(9.0));
+            c.flood_window(Time::from_millis(11.0), Time::from_millis(13.0), 2, true);
+            Arc::new(c)
+        };
+        for n in [4, 9] {
+            for seed in [0, 5] {
+                let mk = || {
+                    builder(n, seed)
+                        .faulty([n - 2])
+                        .delays(DelayModel::AdversaryChoice)
+                        .chaos(timeline(n))
+                        .build(relay, Box::new(Meddler { ticks: 0 }))
+                };
+                let reference = mk().run();
+                assert!(
+                    reference.chaos_drops > 0,
+                    "scenario must actually drop something"
+                );
+                for lanes in [1, 2, 3] {
+                    for parallel in [false, true] {
+                        let mut sim = mk().sharded(lanes);
+                        sim.set_parallel(parallel);
+                        assert_traces_equal(&reference, &sim.run());
+                    }
+                }
+            }
+        }
     }
 
     #[test]

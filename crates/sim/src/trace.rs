@@ -56,6 +56,13 @@ pub struct Trace {
     /// [`timer_slots_high_water`](Self::timer_slots_high_water) — it is
     /// excluded from the determinism trace hash.
     pub queue_spill_count: u64,
+    /// Messages destroyed by chaos injection — deliveries to crashed
+    /// nodes plus sends lost to an active link cut (see
+    /// [`crate::ChaosTimeline`]). Zero when no timeline is installed.
+    pub chaos_drops: u64,
+    /// Extra message copies injected by chaos flood windows. Zero when
+    /// no timeline is installed.
+    pub chaos_duplicates: u64,
 }
 
 impl Trace {

@@ -46,6 +46,8 @@ fn main() {
         seed: 0xED25519,
         backend,
         workers: None,
+        chaos: None,
+        observer: None,
     };
     let report = run(&cfg, |me| CpsNode::new(me, params, derived));
 

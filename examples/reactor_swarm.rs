@@ -52,6 +52,8 @@ fn main() {
         seed: 0x54A3, // "swarm"
         backend: Backend::Reactor,
         workers: None,
+        chaos: None,
+        observer: None,
     };
     let report = run(&cfg, |me| {
         if me.index() < core {
