@@ -106,7 +106,7 @@ impl ChainSyncNode {
     /// Panics if `f + 1 > n` or `theta < 1`.
     #[must_use]
     pub fn new(me: NodeId, n: usize, f: usize, d: Dur, theta: f64) -> Self {
-        assert!(f + 1 <= n, "need f + 1 <= n relay members");
+        assert!(f < n, "need f + 1 <= n relay members");
         assert!(theta >= 1.0, "theta must be >= 1");
         let round_len = d * theta;
         ChainSyncNode {

@@ -77,6 +77,7 @@ impl DsNode {
     /// # Panics
     ///
     /// Panics on role/input mismatch or signer identity mismatch.
+    #[allow(clippy::too_many_arguments)] // the protocol's full parameter list
     pub fn new(
         me: NodeId,
         n: usize,

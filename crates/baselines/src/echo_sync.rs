@@ -95,7 +95,7 @@ impl EchoSyncNode {
     #[must_use]
     pub fn new(me: NodeId, n: usize, f: usize, period: Dur) -> Self {
         assert!(
-            f + 1 <= n - f,
+            f < n - f,
             "echo sync needs f <= ceil(n/2)-1 (got n={n}, f={f})"
         );
         EchoSyncNode {
@@ -125,7 +125,7 @@ impl EchoSyncNode {
             return;
         }
         self.sigs.entry(round).or_default().push((signer, sig));
-        if set.len() >= self.f + 1 {
+        if set.len() > self.f {
             self.fire_pulse(round, ctx);
         }
     }

@@ -7,6 +7,7 @@
 //! perf_snapshot --json BENCH_cps.json --section queue     # ladder-queue engine + spill
 //! perf_snapshot --json BENCH_cps.json --section sharded   # large-n, both executors
 //! perf_snapshot --json BENCH_cps.json --section runtime   # wall-clock reactor vs threads
+//! perf_snapshot --json BENCH_cps.json --section recovery  # time-to-resync grid
 //! perf_snapshot --check BENCH_cps.json           # CI: fail on count drift
 //! perf_snapshot --check BENCH_cps.json --max-n 64  # CI: skip larger rows
 //! perf_snapshot --compare BENCH_cps.json         # committed speedup table, no runs
@@ -27,7 +28,10 @@
 //!   wall-clock CPS deployments (n ∈ {64, 512, 2048}) on the reactor
 //!   backend, plus the thread backend where n OS threads is still a
 //!   reasonable thing to do (n ≤ 512) — these rows take tens of seconds
-//!   each, being real-time runs.
+//!   each, being real-time runs; `recovery` replays the crash-and-rejoin
+//!   grid (n ∈ {4, 8, 16} × {one crash, the full budget}) on the
+//!   deterministic simulator, recording completed rejoins and worst/mean
+//!   time-to-resync against the documented catch-up bound.
 //! * `--check PATH` — CI mode: replay every committed section's scenarios
 //!   and fail if `events_processed`, `messages_delivered`, or (for the
 //!   `queue` section) `spill_count` differ. Those counts are
@@ -38,6 +42,9 @@
 //!   `runtime` rows (within `--max-n`) are replayed on the reactor and
 //!   gated on liveness/safety only (≥ 1 pulse, zero violations) — real
 //!   scheduling makes their counts and rates environment-dependent.
+//!   Committed `recovery` rows are replayed on the simulator, whose
+//!   seed-determinism lets the check gate the rejoin count and the
+//!   resync times themselves (to the file's millisecond precision).
 //!   Wall-clock is reported (speedup vs. baseline, sharded vs.
 //!   single-lane) but never gated.
 //! * `--compare PATH` — print the committed `baseline → current → queue`
@@ -54,9 +61,10 @@
 use std::process::ExitCode;
 
 use crusader_bench::snapshot::{
-    from_json, measure_cps, measure_cps_queue, measure_cps_sharded, measure_runtime, plain_row,
-    replay_sharded_pool, run_runtime, to_json, CpsSnapshot, QueueRow, QueueSection, RuntimeRow,
-    RuntimeSection, ShardedRow, ShardedSection, SnapshotRow, SnapshotSection, CPS_SNAPSHOT_PULSES,
+    from_json, measure_cps, measure_cps_queue, measure_cps_sharded, measure_recovery,
+    measure_runtime, plain_row, replay_sharded_pool, run_runtime, to_json, CpsSnapshot, QueueRow,
+    QueueSection, RecoveryRow, RecoverySection, RuntimeRow, RuntimeSection, ShardedRow,
+    ShardedSection, SnapshotRow, SnapshotSection, CPS_SNAPSHOT_PULSES,
 };
 use crusader_runtime::Backend;
 
@@ -108,10 +116,11 @@ fn parse_args() -> Result<Args, String> {
     }
     if !matches!(
         args.section.as_str(),
-        "baseline" | "current" | "queue" | "sharded" | "runtime"
+        "baseline" | "current" | "queue" | "sharded" | "runtime" | "recovery"
     ) {
         return Err(format!(
-            "--section must be 'baseline', 'current', 'queue', 'sharded' or 'runtime', got {:?}",
+            "--section must be 'baseline', 'current', 'queue', 'sharded', 'runtime' or \
+             'recovery', got {:?}",
             args.section
         ));
     }
@@ -182,6 +191,24 @@ fn print_runtime_rows(rows: &[RuntimeRow]) {
     }
 }
 
+fn print_recovery_rows(rows: &[RecoveryRow]) {
+    crusader_bench::header(&[
+        "n",
+        "crashes",
+        "resyncs",
+        "max_resync_ms",
+        "mean_resync_ms",
+        "bound_ms",
+        "violations",
+    ]);
+    for r in rows {
+        println!(
+            "| {} | {} | {} | {:.3} | {:.3} | {:.3} | {} |",
+            r.n, r.crashes, r.resyncs, r.max_resync_ms, r.mean_resync_ms, r.bound_ms, r.violations
+        );
+    }
+}
+
 fn print_sharded_rows(rows: &[ShardedRow]) {
     crusader_bench::header(&[
         "n",
@@ -225,7 +252,25 @@ fn record(args: &Args, path: &str) -> ExitCode {
         }
     };
     snap.pulses = CPS_SNAPSHOT_PULSES;
-    if args.section == "runtime" {
+    if args.section == "recovery" {
+        let mut rows = measure_recovery(args.max_n);
+        print_recovery_rows(&rows);
+        // With --max-n, keep any committed rows above the cap rather than
+        // silently dropping them from the file.
+        if let (Some(cap), Some(existing)) = (args.max_n, &snap.recovery) {
+            for kept in existing.rows.iter().filter(|r| r.n > cap) {
+                println!("keeping committed recovery n={} (over --max-n)", kept.n);
+                rows.push(kept.clone());
+            }
+            rows.sort_by_key(|r| (r.n, r.crashes));
+        }
+        snap.recovery = Some(RecoverySection {
+            label: args.label.clone().unwrap_or_else(|| {
+                "crash-and-rejoin time-to-resync on the deterministic simulator".to_owned()
+            }),
+            rows,
+        });
+    } else if args.section == "runtime" {
         let mut rows = measure_runtime(args.max_n, None);
         print_runtime_rows(&rows);
         // With --max-n, keep any committed rows above the cap rather than
@@ -475,6 +520,55 @@ fn check(args: &Args, path: &str) -> ExitCode {
             }
         }
     }
+    if let Some(recovery) = &snap.recovery {
+        // The simulator is seed-deterministic, so the resync times are
+        // exact facts: a replay must reproduce the committed rejoin count
+        // and times (to the file's {:.3} ms precision), violation-free.
+        let measured_recovery = measure_recovery(args.max_n);
+        print_recovery_rows(&measured_recovery);
+        for committed in &recovery.rows {
+            if args.max_n.is_some_and(|cap| committed.n > cap) {
+                println!("skipping recovery n={} (over --max-n)", committed.n);
+                continue;
+            }
+            let Some(now) = measured_recovery
+                .iter()
+                .find(|r| r.n == committed.n && r.crashes == committed.crashes)
+            else {
+                eprintln!(
+                    "DRIFT: committed recovery has n={} crashes={} but the harness no longer \
+                     measures it",
+                    committed.n, committed.crashes
+                );
+                drift = true;
+                continue;
+            };
+            let close = |a: f64, b: f64| (a - b).abs() <= 0.005;
+            if now.resyncs != committed.resyncs
+                || now.violations != 0
+                || !close(now.max_resync_ms, committed.max_resync_ms)
+                || !close(now.mean_resync_ms, committed.mean_resync_ms)
+                || now.max_resync_ms > committed.bound_ms
+            {
+                eprintln!(
+                    "DRIFT: n={} crashes={} recovery committed resyncs/max/mean \
+                     {}/{:.3}/{:.3} (bound {:.3}) but this replay produces {}/{:.3}/{:.3} \
+                     with {} violations",
+                    committed.n,
+                    committed.crashes,
+                    committed.resyncs,
+                    committed.max_resync_ms,
+                    committed.mean_resync_ms,
+                    committed.bound_ms,
+                    now.resyncs,
+                    now.max_resync_ms,
+                    now.mean_resync_ms,
+                    now.violations
+                );
+                drift = true;
+            }
+        }
+    }
     if let Some(baseline) = &snap.baseline {
         println!("\nwall-clock vs committed baseline (informational, not gated):");
         for committed in &baseline.rows {
@@ -494,7 +588,8 @@ fn check(args: &Args, path: &str) -> ExitCode {
         eprintln!(
             "(if the change is intentional, re-record every committed section: \
              --json {path} --section baseline, then --section current, then \
-             --section queue, then --section sharded, then --section runtime)"
+             --section queue, then --section sharded, then --section runtime, \
+             then --section recovery)"
         );
         ExitCode::FAILURE
     } else {
@@ -566,6 +661,10 @@ fn compare(path: &str) -> ExitCode {
         println!("\ncommitted sharded rows ({}):\n", sharded.label);
         print_sharded_rows(&sharded.rows);
     }
+    if let Some(recovery) = &snap.recovery {
+        println!("\ncommitted recovery rows ({}):\n", recovery.label);
+        print_recovery_rows(&recovery.rows);
+    }
     if let Some(runtime) = &snap.runtime {
         println!("\ncommitted runtime rows ({}):\n", runtime.label);
         print_runtime_rows(&runtime.rows);
@@ -607,7 +706,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: perf_snapshot [--json PATH [--section baseline|current|queue|sharded|runtime] \
+                "usage: perf_snapshot [--json PATH \
+                 [--section baseline|current|queue|sharded|runtime|recovery] \
                  [--label TEXT]] [--check PATH] [--compare PATH] [--reps N] [--max-n N]"
             );
             return ExitCode::FAILURE;
@@ -618,7 +718,9 @@ fn main() -> ExitCode {
         (None, Some(path), None) => check(&args, &path),
         (None, None, Some(path)) => compare(&path),
         (None, None, None) => {
-            if args.section == "runtime" {
+            if args.section == "recovery" {
+                print_recovery_rows(&measure_recovery(args.max_n));
+            } else if args.section == "runtime" {
                 print_runtime_rows(&measure_runtime(args.max_n, None));
             } else if args.section == "sharded" {
                 print_sharded_rows(&measure_cps_sharded(args.reps, args.max_n));

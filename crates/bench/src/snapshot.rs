@@ -30,6 +30,16 @@
 //!   comparison. Real scheduling makes these rows *non*-deterministic,
 //!   so `--check` gates liveness and safety (≥ 1 completed pulse, zero
 //!   violations on a reactor replay), never counts or wall-clock;
+//! * the `recovery` section (`... --section recovery`, schema v5) is the
+//!   self-healing axis: a crash-and-rejoin scenario per grid point
+//!   (n ∈ {4, 8, 16} × {one crash, the full crash budget}) replayed on
+//!   the deterministic simulator with the [`crusader_core::RecoveringNode`]
+//!   fleet, recording each row's completed rejoin count and its
+//!   worst/mean time-to-resync against the documented catch-up bound
+//!   `(2d + u)θ + 2·p_max` (the resync collect window plus two maximum
+//!   round periods). The simulator is seed-deterministic, so `--check`
+//!   gates the rejoin count *and* the resync times themselves (to the
+//!   committed file's millisecond precision), plus zero violations;
 //! * CI replays the scenarios and fails if `events_processed` /
 //!   `messages_delivered` drift from the committed counts
 //!   (`perf_snapshot --check BENCH_cps.json`, optionally bounded by
@@ -63,10 +73,11 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use crusader_core::{CpsNode, FleetNode, Params, PulseClient};
+use crusader_chaos::{run_scenario, Executor};
+use crusader_core::{max_faults_with_signatures, CpsNode, FleetNode, Params, PulseClient};
 use crusader_crypto::NodeId;
 use crusader_runtime::{Backend, RuntimeConfig};
-use crusader_sim::metrics::pulse_stats;
+use crusader_sim::metrics::{pulse_stats, resync_times};
 use crusader_sim::SilentAdversary;
 use crusader_time::Dur;
 
@@ -106,10 +117,14 @@ pub const RUNTIME_MESH_MAX_N: usize = 64;
 /// records the reactor only.
 pub const RUNTIME_THREADS_MAX_N: usize = 512;
 
+/// System sizes measured by the `recovery` section.
+pub const RECOVERY_NS: &[usize] = &[4, 8, 16];
+
 /// Schema tag written into the file, bumped on layout changes (v2 added
 /// the `sharded` section; v3 the `queue` section with per-row
-/// `spill_count`; v4 the wall-clock `runtime` section).
-pub const SCHEMA: &str = "crusader-bench-cps/v4";
+/// `spill_count`; v4 the wall-clock `runtime` section; v5 the
+/// time-to-resync `recovery` section).
+pub const SCHEMA: &str = "crusader-bench-cps/v5";
 
 /// One measured row: a full `run_cps` at system size `n`.
 #[derive(Clone, Debug, PartialEq)]
@@ -235,6 +250,42 @@ pub struct RuntimeSection {
     pub rows: Vec<RuntimeRow>,
 }
 
+/// One time-to-resync measurement: `crashes` nodes crash mid-run in
+/// staggered windows and rejoin through the signed resync handshake, on
+/// the deterministic single-lane simulator. Seed-determinism makes every
+/// column exact, so `--check` gates the counts *and* the times.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryRow {
+    /// System size.
+    pub n: usize,
+    /// Nodes that crash and recover (1, or the full budget `⌈n/2⌉ − 1`).
+    pub crashes: usize,
+    /// Completed rejoins — recovered nodes that pulsed again (gated to
+    /// equal `crashes`).
+    pub resyncs: u64,
+    /// Worst recovery-to-next-pulse time across the row, in ms.
+    pub max_resync_ms: f64,
+    /// Mean recovery-to-next-pulse time across the row, in ms.
+    pub mean_resync_ms: f64,
+    /// The documented catch-up bound `(2d + u)θ + 2·p_max` in ms: the
+    /// resync collect window plus two maximum round periods. The row's
+    /// scenario pins it as its `resync_ms` invariant.
+    pub bound_ms: f64,
+    /// Violations (protocol or invariant) recorded by the replay; gated
+    /// to 0 by `--check`.
+    pub violations: u64,
+}
+
+/// The `recovery` section: time-to-resync vs system size and crash
+/// fraction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoverySection {
+    /// Human-readable provenance.
+    pub label: String,
+    /// One row per (n, crash-count) grid point.
+    pub rows: Vec<RecoveryRow>,
+}
+
 /// The whole `BENCH_cps.json` document.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct CpsSnapshot {
@@ -250,6 +301,8 @@ pub struct CpsSnapshot {
     pub sharded: Option<ShardedSection>,
     /// Wall-clock runtime rows (reactor vs threads).
     pub runtime: Option<RuntimeSection>,
+    /// Time-to-resync rows (crash-and-rejoin on the simulator).
+    pub recovery: Option<RecoverySection>,
 }
 
 /// The scenario measured for row `n` — one place, so the snapshot, the
@@ -548,6 +601,102 @@ pub fn measure_runtime(max_n: Option<usize>, workers: Option<usize>) -> Vec<Runt
         .collect()
 }
 
+/// The crash-and-rejoin scenario measured for recovery row
+/// `(n, crashes)` — one place, so the snapshot and the CI check cannot
+/// drift apart. Crash windows are staggered 40 ms apart so recoveries
+/// are distinct events; the documented catch-up bound is pinned as the
+/// scenario's own `resync_ms` invariant.
+///
+/// # Panics
+///
+/// Panics if the generated scenario text fails to parse — a harness
+/// bug, not an input condition.
+#[must_use]
+pub fn recovery_scenario(n: usize, crashes: usize) -> crusader_chaos::Scenario {
+    let d = Dur::from_millis(20.0);
+    let u = Dur::from_millis(6.0);
+    let theta = 1.01;
+    let params = Params::max_resilience(n, d, u, theta);
+    let derived = params.derive().expect("recovery grid params feasible");
+    let collect_window = (d * 2.0 + u) * theta;
+    let bound = collect_window + derived.p_max * 2.0;
+    let mut text = format!(
+        "name recovery_n{n}_c{crashes}\n\
+         summary {crashes} staggered crash-and-rejoin cycles at n = {n}\n\
+         n {n}\nseed 11\nd_ms 20\nu_ms 6\ntheta 1.01\nrun_for_ms 2000\n"
+    );
+    for i in 1..=crashes {
+        let start = 400 + 40 * (i - 1);
+        let _ = writeln!(text, "crash {i} {start} {}", start + 500);
+    }
+    let _ = writeln!(text, "invariant resync_ms {:.3}", bound.as_millis());
+    text.push_str("expect clean\n");
+    crusader_chaos::Scenario::parse(&text).expect("generated recovery scenario parses")
+}
+
+/// Measures one recovery grid point on the single-lane simulator.
+///
+/// # Panics
+///
+/// Panics if a crashed node never completes its rejoin — the committed
+/// snapshot must not record a broken recovery path.
+#[must_use]
+pub fn measure_recovery_row(n: usize, crashes: usize) -> RecoveryRow {
+    let sc = recovery_scenario(n, crashes);
+    let timeline = sc.timeline();
+    let out = run_scenario(
+        &sc,
+        Executor::Sim {
+            lanes: 1,
+            force_parallel: None,
+        },
+    );
+    let events = resync_times(&out.trace, &timeline);
+    let times: Vec<f64> = events
+        .iter()
+        .map(|e| {
+            e.time_to_pulse
+                .unwrap_or_else(|| {
+                    panic!("recovery row n={n} crashes={crashes}: {} never rejoined", e.node)
+                })
+                .as_millis()
+        })
+        .collect();
+    assert_eq!(times.len(), crashes, "recovery row n={n} lost a rejoin");
+    let max = times.iter().copied().fold(0.0f64, f64::max);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    RecoveryRow {
+        n,
+        crashes,
+        resyncs: times.len() as u64,
+        max_resync_ms: max,
+        mean_resync_ms: mean,
+        bound_ms: sc.invariants.resync.expect("pinned by recovery_scenario").as_millis(),
+        violations: (out.verdict.violations.len() + out.trace.violations.len()) as u64,
+    }
+}
+
+/// Measures every grid point in [`RECOVERY_NS`] × {one crash, the full
+/// crash budget} at or below `max_n`, deduplicating sizes where the
+/// budget *is* one crash.
+#[must_use]
+pub fn measure_recovery(max_n: Option<usize>) -> Vec<RecoveryRow> {
+    RECOVERY_NS
+        .iter()
+        .filter(|&&n| max_n.is_none_or(|cap| n <= cap))
+        .flat_map(|&n| {
+            let f = max_faults_with_signatures(n);
+            let mut counts = vec![1];
+            if f > 1 {
+                counts.push(f);
+            }
+            counts
+                .into_iter()
+                .map(move |crashes| measure_recovery_row(n, crashes))
+        })
+        .collect()
+}
+
 impl RuntimeRow {
     /// Sanity net under `--json`: a recorded row must itself be live and
     /// violation-free, or the committed file would gate CI on a broken
@@ -655,6 +804,27 @@ pub fn to_json(snap: &CpsSnapshot) -> String {
                     row.threads_pulses,
                     row.threads_msgs_per_sec,
                     row.threads_violations,
+                    row.violations
+                )
+            },
+        ));
+    }
+    if let Some(recovery) = &snap.recovery {
+        blocks.push(section_block(
+            "recovery",
+            &recovery.label,
+            &recovery.rows,
+            |row| {
+                format!(
+                    "{{\"n\": {}, \"crashes\": {}, \"resyncs\": {}, \
+                     \"max_resync_ms\": {:.3}, \"mean_resync_ms\": {:.3}, \
+                     \"bound_ms\": {:.3}, \"violations\": {}}}",
+                    row.n,
+                    row.crashes,
+                    row.resyncs,
+                    row.max_resync_ms,
+                    row.mean_resync_ms,
+                    row.bound_ms,
                     row.violations
                 )
             },
@@ -786,6 +956,30 @@ pub fn from_json(text: &str) -> Result<CpsSnapshot, String> {
             })
             .collect::<Result<Vec<_>, String>>()?;
         snap.runtime = Some(RuntimeSection {
+            label: get(section, "label")?.as_str()?.to_owned(),
+            rows,
+        });
+    }
+    if let Some((_, section)) = top.iter().find(|(k, _)| k == "recovery") {
+        let section = section.as_object()?;
+        let rows = get(section, "rows")?
+            .as_array()?
+            .iter()
+            .map(|row| {
+                let row = row.as_object()?;
+                Ok(RecoveryRow {
+                    n: usize::try_from(get(row, "n")?.as_u64()?).map_err(|e| e.to_string())?,
+                    crashes: usize::try_from(get(row, "crashes")?.as_u64()?)
+                        .map_err(|e| e.to_string())?,
+                    resyncs: get(row, "resyncs")?.as_u64()?,
+                    max_resync_ms: get(row, "max_resync_ms")?.as_f64()?,
+                    mean_resync_ms: get(row, "mean_resync_ms")?.as_f64()?,
+                    bound_ms: get(row, "bound_ms")?.as_f64()?,
+                    violations: get(row, "violations")?.as_u64()?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        snap.recovery = Some(RecoverySection {
             label: get(section, "label")?.as_str()?.to_owned(),
             rows,
         });
@@ -1028,6 +1222,7 @@ mod tests {
             queue: None,
             sharded: None,
             runtime: None,
+            recovery: None,
         }
     }
 
@@ -1049,6 +1244,28 @@ mod tests {
                 violations: 0,
             }],
         }
+    }
+
+    fn sample_recovery_section() -> RecoverySection {
+        RecoverySection {
+            label: "crash-and-rejoin on the simulator".to_owned(),
+            rows: vec![RecoveryRow {
+                n: 8,
+                crashes: 3,
+                resyncs: 3,
+                max_resync_ms: 157.135,
+                mean_resync_ms: 96.204,
+                bound_ms: 612.5,
+                violations: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_with_recovery_section() {
+        let mut snap = sample();
+        snap.recovery = Some(sample_recovery_section());
+        assert_eq!(from_json(&to_json(&snap)).unwrap(), snap);
     }
 
     #[test]
@@ -1108,6 +1325,7 @@ mod tests {
             }],
         });
         snap.runtime = Some(sample_runtime_section());
+        snap.recovery = Some(sample_recovery_section());
         assert_eq!(from_json(&to_json(&snap)).unwrap(), snap);
     }
 

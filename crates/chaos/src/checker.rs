@@ -91,6 +91,9 @@ struct State {
     /// Open per-round skew aggregates (stable nodes only); an entry is
     /// dropped once every stable node contributed.
     rounds: BTreeMap<u64, RoundAgg>,
+    /// Per-node recovery instants not yet answered by a pulse, in time
+    /// order; consumed by the resync predicate.
+    pending_resumes: Vec<std::collections::VecDeque<Time>>,
     violations: Vec<InvariantViolation>,
     tolerated: u64,
     finalized: bool,
@@ -128,11 +131,39 @@ impl InvariantChecker {
                 last_pulse: vec![None; n],
                 pulse_counts: vec![0; n],
                 rounds: BTreeMap::new(),
+                pending_resumes: vec![std::collections::VecDeque::new(); n],
                 violations: Vec::new(),
                 tolerated: 0,
                 finalized: false,
             }),
         }
+    }
+
+    /// Arms the resync predicate with the run's recovery schedule:
+    /// `(instant, node)` pairs at which a crashed node comes back up
+    /// (see `ChaosTimeline::crash_transitions`). Combined with
+    /// `invariant resync_ms`, every listed recovery must be answered by
+    /// a pulse of that node within the bound; without a bound the
+    /// schedule is inert.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range node index.
+    #[must_use]
+    pub fn with_resumes(self, resumes: &[(Time, usize)]) -> Self {
+        {
+            let mut st = self.state.lock();
+            let mut sorted = resumes.to_vec();
+            sorted.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.cmp(&b.1))
+            });
+            for &(at, node) in &sorted {
+                st.pending_resumes[node].push_back(at);
+            }
+        }
+        self
     }
 
     /// Closes the run at `horizon`: evaluates the liveness predicate and
@@ -143,6 +174,24 @@ impl InvariantChecker {
         let mut st = self.state.lock();
         if !st.finalized {
             st.finalized = true;
+            if let Some(bound) = self.spec.resync {
+                for i in 0..st.pending_resumes.len() {
+                    while let Some(resumed) = st.pending_resumes[i].pop_front() {
+                        if horizon - resumed > bound {
+                            st.violations.push(InvariantViolation {
+                                at: horizon,
+                                node: Some(NodeId::new(i)),
+                                what: format!(
+                                    "resync: no pulse within {:.3}ms of the recovery \
+                                     at {:.6}s",
+                                    bound.as_millis(),
+                                    resumed.as_secs()
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
             if let Some((min_pulses, scope)) = self.spec.min_pulses {
                 for (i, &count) in st.pulse_counts.clone().iter().enumerate() {
                     let covered = match scope {
@@ -215,6 +264,26 @@ impl RunObserver for InvariantChecker {
         let mut st = self.state.lock();
         st.pulse_counts[i] += 1;
         let prev = st.last_pulse[i].replace((index, at));
+        // Time-to-resync rides on *recovered* nodes, which are affected
+        // by definition — so it is evaluated before the stable cut.
+        if let Some(bound) = self.spec.resync {
+            while st.pending_resumes[i].front().is_some_and(|&r| r <= at) {
+                let resumed = st.pending_resumes[i].pop_front().expect("checked front");
+                if at - resumed > bound {
+                    st.violations.push(InvariantViolation {
+                        at,
+                        node: Some(node),
+                        what: format!(
+                            "resync: first pulse {:.3}ms after the recovery at \
+                             {:.6}s exceeds {:.3}ms",
+                            (at - resumed).as_millis(),
+                            resumed.as_secs(),
+                            bound.as_millis()
+                        ),
+                    });
+                }
+            }
+        }
         if !self.stable[i] {
             return;
         }
@@ -308,6 +377,7 @@ mod tests {
             skew: Some(Dur::from_millis(2.0)),
             period: Some((Dur::from_millis(5.0), Dur::from_millis(20.0))),
             min_pulses: Some((2, LivenessScope::Stable)),
+            resync: None,
             count_affected_violations: false,
         }
     }
@@ -390,6 +460,54 @@ mod tests {
             v.first_violation().unwrap().at,
             Time::from_millis(15.0)
         );
+    }
+
+    fn resync_spec(bound_ms: f64) -> InvariantSpec {
+        InvariantSpec {
+            resync: Some(Dur::from_millis(bound_ms)),
+            ..InvariantSpec::default()
+        }
+    }
+
+    #[test]
+    fn resync_within_bound_is_clean() {
+        let c = InvariantChecker::new(resync_spec(30.0), 2, &[1])
+            .with_resumes(&[(Time::from_millis(50.0), 1)]);
+        pulse(&c, 1, 4, 70.0); // 20ms after recovery, inside the bound
+        let v = c.finalize(Time::from_millis(200.0));
+        assert!(v.clean(), "{:?}", v.violations);
+    }
+
+    #[test]
+    fn late_resync_pulse_is_flagged_at_the_pulse() {
+        let c = InvariantChecker::new(resync_spec(30.0), 2, &[1])
+            .with_resumes(&[(Time::from_millis(50.0), 1)]);
+        pulse(&c, 1, 4, 95.0); // 45ms after recovery
+        let v = c.snapshot();
+        assert_eq!(v.violations.len(), 1, "{:?}", v.violations);
+        assert!(v.violations[0].what.contains("resync"), "{}", v.violations[0]);
+        assert_eq!(v.violations[0].at, Time::from_millis(95.0));
+        assert_eq!(v.violations[0].node, Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn never_pulsing_again_is_flagged_at_the_horizon() {
+        let c = InvariantChecker::new(resync_spec(30.0), 2, &[1])
+            .with_resumes(&[(Time::from_millis(50.0), 1)]);
+        pulse(&c, 1, 3, 40.0); // pre-recovery pulse must not satisfy it
+        let v = c.finalize(Time::from_millis(200.0));
+        assert_eq!(v.violations.len(), 1, "{:?}", v.violations);
+        assert!(v.violations[0].what.contains("resync"), "{}", v.violations[0]);
+        assert_eq!(v.violations[0].at, Time::from_millis(200.0));
+    }
+
+    #[test]
+    fn unanswered_resume_inside_the_bound_at_horizon_is_not_flagged() {
+        // The run ended before the bound expired — no verdict either way.
+        let c = InvariantChecker::new(resync_spec(30.0), 2, &[1])
+            .with_resumes(&[(Time::from_millis(50.0), 1)]);
+        let v = c.finalize(Time::from_millis(60.0));
+        assert!(v.clean(), "{:?}", v.violations);
     }
 
     #[test]

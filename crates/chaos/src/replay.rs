@@ -2,7 +2,11 @@
 //!
 //! One scenario file drives four executors: the single-lane reference
 //! simulator, the sharded simulator (any lane count), and both
-//! wall-clock runtime backends. The simulator path is bit-deterministic
+//! wall-clock runtime backends. Every replay runs the recovery-capable
+//! fleet — [`RecoveringNode`] wrapping [`CpsNode`] — so a crash window
+//! ending mid-run triggers the real signed rejoin handshake (resync
+//! request, `f + 1`-signature pulse certificate, fast-forward) instead
+//! of a node resuming on stale state. The simulator path is bit-deterministic
 //! — same scenario, same seed, same trace on every lane count; the
 //! runtime path replays the same fault timeline against the host clock,
 //! with the same [`InvariantChecker`] riding along, and must reach the
@@ -11,7 +15,8 @@
 
 use std::sync::Arc;
 
-use crusader_core::{max_faults_with_signatures, CpsNode, Params};
+use crusader_core::{max_faults_with_signatures, CpsNode, Params, RecoveringNode, RecoveryMsg};
+use crusader_crypto::NodeId;
 use crusader_runtime::{Backend, RuntimeConfig};
 use crusader_sim::{
     Adversary, DelayModel, SilentAdversary, SimBuilder, Trace,
@@ -113,12 +118,21 @@ pub fn scenario_params(sc: &Scenario) -> Params {
 /// [`scenario_params`]) or an executor thread panics.
 #[must_use]
 pub fn run_scenario(sc: &Scenario, executor: Executor) -> Outcome {
-    let checker = Arc::new(InvariantChecker::new(
-        sc.invariants.clone(),
-        sc.n,
-        &sc.affected(),
-    ));
     let timeline = Arc::new(sc.timeline());
+    // Up-transitions still inside another crash window are swallowed by
+    // the executors (the node stays down), so they are no recoveries —
+    // mirror that here or the resync predicate would wait on a pulse
+    // that legitimately never comes.
+    let resumes: Vec<(Time, usize)> = timeline
+        .crash_transitions()
+        .into_iter()
+        .filter(|&(at, node, down)| !down && !timeline.down(NodeId::new(node), at))
+        .map(|(at, node, _)| (at, node))
+        .collect();
+    let checker = Arc::new(
+        InvariantChecker::new(sc.invariants.clone(), sc.n, &sc.affected())
+            .with_resumes(&resumes),
+    );
     let horizon = Time::ZERO + sc.run_for;
     let trace = match executor {
         Executor::Sim {
@@ -150,7 +164,7 @@ fn run_sim(
     let derived = params.derive().unwrap_or_else(|e| {
         panic!("scenario {}: infeasible parameters: {e}", sc.name)
     });
-    let adversary: Box<dyn Adversary<crusader_core::Carry>> = if sc.faulty.is_empty() {
+    let adversary: Box<dyn Adversary<RecoveryMsg>> = if sc.faulty.is_empty() {
         Box::new(SilentAdversary)
     } else {
         Box::new(ChaosAdversary::new(Arc::clone(timeline), sc.d - sc.u))
@@ -164,7 +178,10 @@ fn run_sim(
         .horizon(horizon)
         .chaos(Arc::clone(timeline))
         .observer(Arc::clone(checker) as Arc<dyn crusader_sim::RunObserver>)
-        .build(|me| CpsNode::new(me, params, derived), adversary);
+        .build(
+            |me| RecoveringNode::new(CpsNode::new(me, params, derived)),
+            adversary,
+        );
     if lanes > 1 {
         let mut sharded = sim.sharded(lanes);
         if let Some(parallel) = force_parallel {
@@ -203,7 +220,10 @@ fn run_runtime(
         observer: Some(Arc::clone(checker) as Arc<dyn crusader_sim::RunObserver>),
         ..RuntimeConfig::new(sc.n)
     };
-    crusader_runtime::run(&cfg, |me| CpsNode::new(me, params, derived)).trace
+    crusader_runtime::run(&cfg, |me| {
+        RecoveringNode::new(CpsNode::new(me, params, derived))
+    })
+    .trace
 }
 
 #[cfg(test)]

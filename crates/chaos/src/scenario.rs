@@ -21,9 +21,11 @@
 //! cut      <set> <set> <from_ms> <until_ms>
 //! storm    <from_ms> <until_ms>
 //! flood    <from_ms> <until_ms> <copies> <rush|draw>
+//! panic    <node> <at_ms>                # worker-panic drill; runtime-only, sim ignores
 //! invariant skew_ms <f64>
 //! invariant period_ms <min_f64> <max_f64>
 //! invariant min_pulses <u64> [stable|all]
+//! invariant resync_ms <f64>              # bound on recovery -> next pulse, per rejoin
 //! count_affected_violations              # strict mode: no fault-budget tolerance
 //! expect   clean|violations              # required
 //! ```
@@ -59,6 +61,9 @@ pub struct InvariantSpec {
     pub period: Option<(Dur, Dur)>,
     /// Minimum pulses each covered node must complete by the horizon.
     pub min_pulses: Option<(u64, LivenessScope)>,
+    /// Time-to-resync bound: every recovered node must pulse again
+    /// within this much of its recovery instant.
+    pub resync: Option<Dur>,
     /// When `true`, protocol violations from affected nodes count as
     /// invariant violations instead of being tolerated under the fault
     /// budget. Set by `count_affected_violations`.
@@ -110,6 +115,18 @@ pub struct StormSpec {
     pub until: Time,
 }
 
+/// A worker-panic drill: the named node's handler panics once at the
+/// given instant. Runtime-only — the wall-clock backends contain the
+/// panic in their supervision layer; the simulators ignore drills
+/// (there is no worker to kill in a deterministic event loop).
+#[derive(Clone, Copy, Debug)]
+pub struct PanicSpec {
+    /// The node whose handler blows up.
+    pub node: usize,
+    /// Drill instant, scenario time.
+    pub at: Time,
+}
+
 /// A flood directive: every send duplicated `copies` extra times.
 #[derive(Clone, Copy, Debug)]
 pub struct FloodDirective {
@@ -156,6 +173,8 @@ pub struct Scenario {
     pub storms: Vec<StormSpec>,
     /// Flood windows.
     pub floods: Vec<FloodDirective>,
+    /// Worker-panic drills (runtime-only).
+    pub panics: Vec<PanicSpec>,
     /// What the checker enforces.
     pub invariants: InvariantSpec,
     /// The pinned verdict.
@@ -191,6 +210,9 @@ impl Scenario {
         for f in &self.floods {
             tl.flood_window(f.from, f.until, f.copies, f.rush);
         }
+        for p in &self.panics {
+            tl.panic_at(p.node, p.at);
+        }
         tl
     }
 
@@ -220,6 +242,7 @@ impl Scenario {
             && self.cuts.is_empty()
             && self.storms.is_empty()
             && self.floods.is_empty()
+            && self.panics.is_empty()
     }
 
     /// The same fault timeline replayed in a system of `n` nodes.
@@ -258,6 +281,7 @@ impl Scenario {
         let mut cuts = Vec::new();
         let mut storms = Vec::new();
         let mut floods = Vec::new();
+        let mut panics = Vec::new();
         let mut invariants = InvariantSpec::default();
         let mut expect = None;
 
@@ -327,7 +351,18 @@ impl Scenario {
                         rush,
                     });
                 }
+                "panic" => {
+                    let [node, at] = exactly::<2>(&toks).map_err(err)?;
+                    panics.push(PanicSpec {
+                        node: parse_in(node, "node").map_err(err)?,
+                        at: time_ms(at).map_err(err)?,
+                    });
+                }
                 "invariant" => match toks.first().copied() {
+                    Some("resync_ms") => {
+                        invariants.resync =
+                            Some(Dur::from_millis(num(&toks[1..]).map_err(err)?));
+                    }
                     Some("skew_ms") => {
                         invariants.skew =
                             Some(Dur::from_millis(num(&toks[1..]).map_err(err)?));
@@ -393,6 +428,7 @@ impl Scenario {
             cuts,
             storms,
             floods,
+            panics,
             invariants,
             expect: expect.ok_or("missing 'expect'")?,
         };
@@ -451,6 +487,15 @@ impl Scenario {
             check_window(f.from, f.until, "flood")?;
             if f.copies == 0 {
                 return Err("flood copies must be positive".to_owned());
+            }
+        }
+        for p in &self.panics {
+            check_node(p.node, "panic")?;
+            if p.at <= Time::ZERO {
+                return Err("panic drills must fire after time 0".to_owned());
+            }
+            if p.at >= horizon {
+                return Err("panic drill fires past the horizon".to_owned());
             }
         }
         Ok(())
@@ -608,9 +653,11 @@ mod tests {
             cut 0-2 3-5 100 150   # halves
             storm 200 250
             flood 250 300 2 rush
+            panic 1 120
             invariant skew_ms 6
             invariant period_ms 1 200
             invariant min_pulses 2 all
+            invariant resync_ms 150
             count_affected_violations
             expect violations
         ",
@@ -620,6 +667,10 @@ mod tests {
         assert_eq!(sc.crashes[1].until, None);
         assert_eq!(sc.cuts[0].a, vec![0, 1, 2]);
         assert_eq!(sc.affected(), vec![2, 3, 6, 7]);
+        assert_eq!(sc.panics.len(), 1);
+        assert_eq!(sc.panics[0].node, 1);
+        assert_eq!(sc.invariants.resync, Some(Dur::from_millis(150.0)));
+        assert!(!sc.is_fault_free());
         assert_eq!(
             sc.invariants.min_pulses,
             Some((2, LivenessScope::All))
@@ -649,6 +700,14 @@ mod tests {
             (
                 "name t\nsummary s\nn 4\nrun_for_ms 100\nexpect maybe",
                 "bad expectation",
+            ),
+            (
+                "name t\nsummary s\nn 4\nrun_for_ms 100\npanic 9 50\nexpect clean",
+                "panic node out of range",
+            ),
+            (
+                "name t\nsummary s\nn 4\nrun_for_ms 100\npanic 1 150\nexpect clean",
+                "panic past the horizon",
             ),
             (
                 "name t\nsummary s\nn 4\nrun_for_ms 100\nwat 1\nexpect clean",

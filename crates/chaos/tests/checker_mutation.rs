@@ -30,6 +30,7 @@ fn bare_spec() -> InvariantSpec {
         skew: None,
         period: None,
         min_pulses: None,
+        resync: None,
         count_affected_violations: false,
     }
 }

@@ -53,6 +53,17 @@ fn catalog_covers_the_required_failure_classes() {
         cat.scenarios.iter().any(|s| s.is_fault_free()),
         "no fault-free control scenario"
     );
+    let resync_bounded = cat.scenarios.iter().any(|s| {
+        s.invariants.resync.is_some() && s.crashes.iter().filter(|c| c.until.is_some()).count() > 1
+    });
+    assert!(
+        resync_bounded,
+        "no multi-recovery scenario pinning a time-to-resync bound"
+    );
+    assert!(
+        cat.scenarios.iter().any(|s| !s.panics.is_empty()),
+        "no worker-panic drill scenario"
+    );
 }
 
 #[test]

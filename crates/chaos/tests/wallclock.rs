@@ -11,6 +11,27 @@ use crusader_runtime::Backend;
 
 static GATE: Mutex<()> = Mutex::new(());
 
+/// Silences the default panic-hook backtrace chatter for the injected
+/// drills the `worker_panic` scenario fires on purpose; real panics
+/// still print.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.starts_with("injected fault") {
+                default(info);
+            }
+        }));
+    });
+}
+
 /// Take the serialization gate, shrugging off poisoning: a failure in
 /// one test should report as that test's failure alone, not cascade a
 /// `PoisonError` into every later wall-clock test.
@@ -53,6 +74,7 @@ fn run_wallclock(
 #[test]
 fn runtime_backends_reach_every_pinned_verdict() {
     let _gate = gate();
+    quiet_injected_panics();
     for sc in &catalog().scenarios {
         let mut verdicts = Vec::new();
         for backend in [Backend::Threads, Backend::Reactor] {

@@ -142,7 +142,7 @@ impl RoundProtocol for ApaNode {
         if iteration >= self.iterations {
             return Vec::new();
         }
-        if round % 2 == 0 {
+        if round.is_multiple_of(2) {
             // Deal our value via (the first round of) crusader broadcast.
             let sv = SignedValue {
                 value: self.value,
@@ -174,7 +174,7 @@ impl RoundProtocol for ApaNode {
         if iteration >= self.iterations {
             return Some(self.value);
         }
-        if round % 2 == 0 {
+        if round.is_multiple_of(2) {
             for (from, msg) in inbox {
                 if let ApaMsg::Deal(sv) = msg {
                     if self.direct[from.index()].is_none()
@@ -311,7 +311,7 @@ mod tests {
             round: usize,
             _honest: &[(NodeId, NodeId, ApaMsg)],
         ) -> Vec<(NodeId, NodeId, ApaMsg)> {
-            if round % 2 != 0 {
+            if !round.is_multiple_of(2) {
                 return Vec::new();
             }
             let iteration = round / 2;
@@ -375,7 +375,7 @@ mod tests {
             round: usize,
             _honest: &[(NodeId, NodeId, ApaMsg)],
         ) -> Vec<(NodeId, NodeId, ApaMsg)> {
-            if round % 2 != 0 {
+            if !round.is_multiple_of(2) {
                 return Vec::new();
             }
             let iteration = round / 2;

@@ -282,8 +282,8 @@ mod tests {
         let ring = KeyRing::symbolic(4, 1);
         let nodes = build(4, 3, &[3], 42, &ring);
         let outs = outputs(run_rounds(nodes, &mut SilentRushing, 4));
-        for i in 0..3 {
-            assert_eq!(outs[i], Some(CbOutput::Bot), "node {i}");
+        for (i, out) in outs.iter().enumerate().take(3) {
+            assert_eq!(*out, Some(CbOutput::Bot), "node {i}");
         }
     }
 
@@ -334,8 +334,8 @@ mod tests {
         let outs = outputs(run_rounds(nodes, &mut adv, 4));
         // Every honest node echoes what it got; both signed values
         // circulate; everyone sees the conflict.
-        for i in 0..4 {
-            assert_eq!(outs[i], Some(CbOutput::Bot), "node {i}");
+        for (i, out) in outs.iter().enumerate().take(4) {
+            assert_eq!(*out, Some(CbOutput::Bot), "node {i}");
         }
     }
 
@@ -383,8 +383,8 @@ mod tests {
         // 33. (With the echo, all nodes actually see a valid 33 — but only
         // node 0 had a *direct* message, so the others output ⊥.)
         assert_eq!(outs[0], Some(CbOutput::Value(33)));
-        for i in 1..3 {
-            assert_eq!(outs[i], Some(CbOutput::Bot), "node {i}");
+        for (i, out) in outs.iter().enumerate().take(3).skip(1) {
+            assert_eq!(*out, Some(CbOutput::Bot), "node {i}");
         }
     }
 
@@ -430,8 +430,8 @@ mod tests {
             dealer: NodeId::new(3),
         };
         let outs = outputs(run_rounds(nodes, &mut adv, 4));
-        for i in 0..3 {
-            assert_eq!(outs[i], Some(CbOutput::Bot), "node {i}");
+        for (i, out) in outs.iter().enumerate().take(3) {
+            assert_eq!(*out, Some(CbOutput::Bot), "node {i}");
         }
     }
 

@@ -22,6 +22,7 @@ use crusader_time::{Dur, LocalTime};
 use crate::messages::{pulse_sign_bytes_cached, Carry};
 use crate::midpoint;
 use crate::params::{Derived, ParamError, Params};
+use crate::recovery::{PulseCertificate, ResyncReply};
 use crate::tcb::{DirectOutcome, TcbDecision, TcbInstance, TcbWindows};
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,6 +85,11 @@ pub struct CpsNode {
     verified: Vec<Option<Signature>>,
     /// Diagnostic: the Δ corrections applied so far.
     corrections: Vec<Dur>,
+    /// The latest round this node completed with `f + 1` verified dealer
+    /// signatures, those signatures, and the local pulse time of that
+    /// round — the pulse certificate served to recovering peers (see
+    /// [`crate::recovery`]).
+    cert: Option<(PulseCertificate, LocalTime)>,
 }
 
 impl CpsNode {
@@ -104,6 +110,7 @@ impl CpsNode {
             timers: HashMap::default(),
             verified: Vec::new(),
             corrections: Vec::new(),
+            cert: None,
         }
     }
 
@@ -170,6 +177,7 @@ impl CpsNode {
             return;
         }
         self.next_scheduled = true;
+        self.snapshot_cert();
         let mut estimates = Vec::with_capacity(self.params.n);
         let mut bots = 0usize;
         for inst in &self.instances {
@@ -207,6 +215,114 @@ impl CpsNode {
         }
         let id = ctx.set_timer_at(target);
         self.timers.insert(id, TimerKind::NextPulse);
+    }
+
+    /// Captures the current round's pulse certificate if `f + 1` dealer
+    /// signatures verified. Called once per completed round; the snapshot
+    /// is pure node-local state, so it never perturbs event order.
+    fn snapshot_cert(&mut self) {
+        let need = self.params.f + 1;
+        let mut sigs = Vec::with_capacity(need);
+        for (dealer, sig) in self.verified.iter().enumerate() {
+            if let Some(sig) = sig {
+                sigs.push((NodeId::new(dealer), sig.clone()));
+                if sigs.len() == need {
+                    break;
+                }
+            }
+        }
+        if sigs.len() == need {
+            self.cert = Some((
+                PulseCertificate {
+                    round: self.round,
+                    sigs,
+                },
+                self.pulse_local,
+            ));
+        }
+    }
+
+    pub(crate) fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The answer to a peer's resync request: the latest certificate this
+    /// node holds, plus how long ago (on this node's clock) the certified
+    /// pulse fired. `None` until a first round has completed with `f + 1`
+    /// verified signatures.
+    pub(crate) fn resync_reply(&self, now_local: LocalTime) -> Option<ResyncReply> {
+        let (cert, pulsed_at) = self.cert.as_ref()?;
+        Some(ResyncReply {
+            cert: cert.clone(),
+            since_pulse: now_local - *pulsed_at,
+        })
+    }
+
+    /// Clears all round-in-progress state after a crash, keeping the node
+    /// mute until a resync verdict arrives. Instances and memos are
+    /// *resized*, not just cleared, so a straggler delivery for the stale
+    /// round indexes safely; `next_scheduled = true` blocks any such
+    /// delivery from scheduling a pulse; the cleared timer map turns every
+    /// pre-crash timer that still fires into a recognized no-op.
+    pub(crate) fn reset_for_rejoin(&mut self) {
+        self.timers.clear();
+        self.instances.clear();
+        self.instances
+            .resize_with(self.params.n, || TcbInstance::new(self.pulse_local));
+        self.verified.clear();
+        self.verified.resize(self.params.n, None);
+        self.undecided = self.params.n;
+        self.next_scheduled = true;
+    }
+
+    /// Adopts a certified round and rejoins the pulse schedule.
+    ///
+    /// `since_pulse` is the (clamped, aggregated) local-clock age of round
+    /// `round`'s pulse as reported by peers. Whole nominal periods are
+    /// folded into the round number so the reconstructed pulse time lands
+    /// within one period of now, then the next pulse is scheduled exactly
+    /// one nominal period after it — from there the ordinary midpoint
+    /// correction of the next completed round pulls the node back into
+    /// `S`-bounded sync.
+    pub(crate) fn fast_forward(
+        &mut self,
+        round: u64,
+        since_pulse: Dur,
+        ctx: &mut dyn Context<Carry>,
+    ) {
+        let t = self.derived.t_nominal;
+        let periods = (since_pulse / t).floor().max(0.0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            self.round = round + periods as u64;
+        }
+        self.pulse_local = ctx.local_time() - (since_pulse - t * periods);
+        self.instances.clear();
+        self.instances
+            .resize_with(self.params.n, || TcbInstance::new(self.pulse_local));
+        self.verified.clear();
+        self.verified.resize(self.params.n, None);
+        self.undecided = self.params.n;
+        self.next_scheduled = true;
+        self.timers.clear();
+        let id = ctx.set_timer_at(self.pulse_local + t);
+        self.timers.insert(id, TimerKind::NextPulse);
+    }
+
+    /// Last-resort restart when no resync reply ever arrived (e.g. every
+    /// peer is down too): resume pulsing on the nominal period from the
+    /// stale round state and let midpoint corrections re-converge the
+    /// survivors.
+    pub(crate) fn free_run_restart(&mut self, ctx: &mut dyn Context<Carry>) {
+        self.timers.clear();
+        if self.round == 0 {
+            // Crashed before its very first pulse: just start.
+            self.start_round(ctx);
+        } else {
+            self.reset_for_rejoin();
+            let id = ctx.set_timer_at(ctx.local_time() + self.derived.t_nominal);
+            self.timers.insert(id, TimerKind::NextPulse);
+        }
     }
 }
 

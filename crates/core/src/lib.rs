@@ -67,6 +67,7 @@ pub mod cps;
 pub mod messages;
 pub mod midpoint;
 pub mod params;
+pub mod recovery;
 pub mod tcb;
 
 pub use apa::{iterations_for, ApaMsg, ApaNode};
@@ -80,5 +81,8 @@ pub use messages::{
 pub use midpoint::{midpoint, select_interval, Interval};
 pub use params::{
     max_faults_with_signatures, max_faults_without_signatures, Derived, ParamError, Params,
+};
+pub use recovery::{
+    PulseCertificate, RecoveringNode, RecoveryMsg, ResyncReply, RESYNC_MAX_ATTEMPTS,
 };
 pub use tcb::{DirectOutcome, TcbDecision, TcbInstance, TcbWindows};

@@ -173,7 +173,10 @@ impl Params {
         }
         let t = self.theta;
         let p = Self::feasibility(t);
-        if !(t > 1.0) || p <= 0.0 {
+        // `partial_cmp` keeps the NaN-rejecting semantics of `!(t > 1.0)`
+        // explicit: anything not strictly greater than 1 — including NaN —
+        // is infeasible.
+        if t.partial_cmp(&1.0) != Some(std::cmp::Ordering::Greater) || p <= 0.0 {
             return Err(ParamError::ThetaInfeasible {
                 theta: t,
                 max_theta: Self::max_feasible_theta(),

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeSet;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -13,9 +14,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::clock::EmulatedClock;
-use crate::net::{NetChaos, NetCommand, Network, NodeEvent};
+use crate::net::{NetChaos, NetCommand, NetLink, Network, NodeEvent};
 use crate::node::{node_loop, NodeCore};
 use crate::reactor;
+use crate::supervise::{self, Counters, Heartbeats, SupervisionStats};
 
 /// Which executor drives the node automatons.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -139,6 +141,9 @@ pub struct RuntimeReport {
     /// Messages the network thread delivered (broadcasts count once per
     /// destination, including destinations that crashed at start).
     pub messages_delivered: u64,
+    /// Supervision outcome: contained panics, worker respawns, detected
+    /// stalls, network retry/drop counts and the degradation flag.
+    pub supervision: SupervisionStats,
 }
 
 /// What a backend returns to the harness: everything still in host-time
@@ -150,6 +155,8 @@ pub(crate) struct BackendRun {
     pub messages_delivered: u64,
     /// Sends the network thread discarded on chaos link cuts.
     pub chaos_dropped: u64,
+    /// Fault accounting from the supervision layer.
+    pub supervision: SupervisionStats,
 }
 
 /// Runs `make_node`-built automatons under real threads, real (injected)
@@ -162,8 +169,11 @@ pub(crate) struct BackendRun {
 ///
 /// # Panics
 ///
-/// Panics if thread spawning fails, if `n == 0`, or if an automaton
-/// handler panicked on a backend thread.
+/// Panics if thread spawning fails or if `n == 0`. An automaton handler
+/// that panics on a backend thread is *contained*: the panic is counted
+/// on [`RuntimeReport::supervision`], recorded as a violation against
+/// the node, and the run keeps going (on the reactor, the worker that
+/// carried it is respawned).
 pub fn run<A, F>(cfg: &RuntimeConfig, make_node: F) -> RuntimeReport
 where
     A: Automaton,
@@ -204,6 +214,7 @@ where
         mut violations,
         messages_delivered,
         chaos_dropped,
+        supervision,
     } = run;
     let mut trace = Trace::default();
     trace.pulses = pulse_log
@@ -225,6 +236,7 @@ where
     RuntimeReport {
         trace,
         messages_delivered,
+        supervision,
     }
 }
 
@@ -246,16 +258,36 @@ where
     let active = cfg.n - silent.len();
     let barrier = Arc::new(Barrier::new(active + 1));
     let epoch_cell: Arc<OnceLock<Instant>> = Arc::new(OnceLock::new());
+    let counters = Arc::new(Counters::new(cfg.n));
+    let heartbeats = Arc::new(Heartbeats::new(cfg.n, Instant::now()));
+    let stop = Arc::new(AtomicBool::new(false));
+    // Watchdog with a no-op nudge: a node here is an OS thread the
+    // kernel wakes itself, so a stall is only counted (and degrades the
+    // run), not rescheduled.
+    let watchdog = supervise::spawn_watchdog(
+        Arc::clone(&heartbeats),
+        Arc::clone(&counters),
+        supervise::stall_threshold(cfg.d),
+        Arc::clone(&stop),
+        |_| {},
+    );
 
     let mut inbox_txs: Vec<Option<channel::Sender<NodeEvent<A::Msg>>>> = Vec::with_capacity(cfg.n);
     let mut inbox_rxs = Vec::with_capacity(cfg.n);
+    // Probe clones of the inbox receivers: after everything is joined,
+    // whatever is left unread in an inbox is counted as discarded so
+    // shutdown races never silently lose accounting.
+    let mut probe_rxs: Vec<Option<channel::Receiver<NodeEvent<A::Msg>>>> =
+        Vec::with_capacity(cfg.n);
     for i in 0..cfg.n {
         if silent.binary_search(&i).is_ok() {
             inbox_txs.push(None);
             inbox_rxs.push(None);
+            probe_rxs.push(None);
         } else {
             let (tx, rx) = channel::unbounded::<NodeEvent<A::Msg>>();
             inbox_txs.push(Some(tx));
+            probe_rxs.push(Some(rx.clone()));
             inbox_rxs.push(Some(rx));
         }
     }
@@ -278,21 +310,23 @@ where
 
     let verifier = ring.verifier();
     let mut handles = Vec::new();
-    for i in 0..cfg.n {
+    for (i, inbox_slot) in inbox_rxs.iter_mut().enumerate() {
         let me = NodeId::new(i);
-        let Some(inbox) = inbox_rxs[i].take() else {
+        let Some(inbox) = inbox_slot.take() else {
             continue; // silent
         };
         let rate = 1.0 + rng.gen::<f64>() * (cfg.theta - 1.0);
         let offset = cfg.max_offset * rng.gen::<f64>();
         let automaton = make_node(me);
-        let net = network.commands.clone();
+        let net = NetLink::new(network.commands.clone(), Arc::clone(&counters));
         let signer = ring.signer(me);
         let verifier = Arc::clone(&verifier);
         let n = cfg.n;
         let barrier = Arc::clone(&barrier);
         let epoch_cell = Arc::clone(&epoch_cell);
         let observer = cfg.observer.clone();
+        let counters = Arc::clone(&counters);
+        let heartbeats = Arc::clone(&heartbeats);
         handles.push((
             i,
             std::thread::Builder::new()
@@ -305,7 +339,7 @@ where
                     if let Some(obs) = observer {
                         core.set_observer(obs, epoch);
                     }
-                    node_loop(core, &inbox, &net)
+                    node_loop(core, &inbox, &net, &counters, &heartbeats)
                 })
                 .expect("spawn node thread"),
         ));
@@ -320,7 +354,6 @@ where
     }
     let mut pulse_log = vec![Vec::new(); cfg.n];
     let mut violations = Vec::new();
-    let mut node_panic = None;
     for (i, handle) in handles {
         match handle.join() {
             Ok(core) => {
@@ -328,13 +361,28 @@ where
                 pulse_log[i] = pulses;
                 violations.extend(viols);
             }
-            Err(payload) => node_panic = Some(payload),
+            Err(payload) => {
+                // Handler panics are contained inside `node_loop`, so a
+                // dead node thread is an infrastructure fault. Log it,
+                // count it, keep the run's results.
+                counters.note_panic();
+                counters.note_fault_budget();
+                let msg = supervise::panic_message(&*payload);
+                violations.push(format!("{}: node thread died: {msg}", NodeId::new(i)));
+            }
         }
     }
     let _ = network.commands.send(NetCommand::Shutdown);
     let (messages_delivered, chaos_dropped) = network.handle.join().unwrap_or((0, 0));
-    if let Some(payload) = node_panic {
-        std::panic::resume_unwind(payload);
+    stop.store(true, Ordering::Release);
+    let _ = watchdog.join();
+    // Count events no node ever read (deliveries that raced shutdown).
+    for probe in probe_rxs.iter().flatten() {
+        let mut leftover = 0u64;
+        while probe.try_recv().is_ok() {
+            leftover += 1;
+        }
+        counters.note_discarded(leftover);
     }
     BackendRun {
         epoch,
@@ -342,5 +390,6 @@ where
         violations,
         messages_delivered,
         chaos_dropped,
+        supervision: counters.snapshot(),
     }
 }

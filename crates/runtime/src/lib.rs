@@ -74,11 +74,13 @@ mod harness;
 mod net;
 mod node;
 mod reactor;
+mod supervise;
 pub mod wheel;
 
 pub use clock::EmulatedClock;
 pub use harness::{run, Backend, RuntimeConfig, RuntimeReport};
 pub use net::NodeEvent;
+pub use supervise::SupervisionStats;
 
 #[cfg(test)]
 mod tests {

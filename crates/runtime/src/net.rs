@@ -16,14 +16,16 @@
 
 use std::collections::BinaryHeap;
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, SendTimeoutError, Sender};
 use crusader_crypto::NodeId;
 use crusader_sim::ChaosTimeline;
 use crusader_time::{Dur, Time};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+use crate::supervise::Counters;
 
 /// What a node receives from the runtime.
 #[derive(Debug)]
@@ -41,6 +43,10 @@ pub enum NodeEvent<M> {
     /// Chaos injection: the node recovers; overdue timers fire at the
     /// recovery instant, mirroring the simulator's deferral semantics.
     Thaw,
+    /// Chaos injection: the node's next handler invocation panics (a
+    /// supervision drill — exercises containment and worker respawn).
+    /// Ignored while the node is frozen.
+    PanicInject,
     /// Orderly shutdown request from the harness.
     Shutdown,
 }
@@ -116,6 +122,68 @@ impl<M> Ord for InFlight<M> {
     }
 }
 
+/// Bounded retry policy for pushing a command onto the network sink:
+/// total attempts per send, and the first per-send timeout (doubled on
+/// every retry — exponential backoff).
+const NET_SEND_ATTEMPTS: u32 = 4;
+const NET_BACKOFF_BASE: Duration = Duration::from_millis(2);
+
+/// Capacity of the command channel into the network thread. Large
+/// enough that a healthy run never fills it; bounding it means a wedged
+/// network thread exerts backpressure (and eventually triggers the
+/// retry/degradation path) instead of growing the queue without limit.
+const NET_QUEUE_CAP: usize = 65_536;
+
+/// A node's handle on the network sink: a bounded channel sender with
+/// retry, exponential backoff and a per-send timeout. A send that
+/// exhausts its attempts is dropped and counted (message loss is within
+/// the model — the protocol tolerates it), never a panic or a stall.
+pub(crate) struct NetLink<M> {
+    tx: Sender<NetCommand<M>>,
+    counters: Arc<Counters>,
+}
+
+// Manual impl: `derive(Clone)` would demand `M: Clone`, which the
+// channel sender itself does not need.
+impl<M> Clone for NetLink<M> {
+    fn clone(&self) -> Self {
+        NetLink {
+            tx: self.tx.clone(),
+            counters: Arc::clone(&self.counters),
+        }
+    }
+}
+
+impl<M> NetLink<M> {
+    pub fn new(tx: Sender<NetCommand<M>>, counters: Arc<Counters>) -> Self {
+        NetLink { tx, counters }
+    }
+
+    /// Pushes `cmd` onto the network queue, retrying with backoff while
+    /// the queue stays full. Silent on disconnect (the network thread is
+    /// gone — the run is shutting down); on exhaustion the command is
+    /// dropped, counted as a failed send, and charged to the fault
+    /// budget.
+    pub fn send(&self, mut cmd: NetCommand<M>) {
+        let mut timeout = NET_BACKOFF_BASE;
+        for attempt in 1..=NET_SEND_ATTEMPTS {
+            match self.tx.send_timeout(cmd, timeout) {
+                Ok(()) => return,
+                Err(SendTimeoutError::Disconnected(_)) => return,
+                Err(SendTimeoutError::Timeout(back)) => {
+                    cmd = back;
+                    if attempt < NET_SEND_ATTEMPTS {
+                        self.counters.note_net_retry();
+                        timeout *= 2;
+                    }
+                }
+            }
+        }
+        self.counters.note_net_send_failed();
+        self.counters.note_fault_budget();
+    }
+}
+
 pub(crate) enum NetCommand<M> {
     Send {
         from: NodeId,
@@ -152,7 +220,8 @@ impl<M: Clone + Send + Sync + 'static> Network<M> {
         seed: u64,
         chaos: Option<NetChaos>,
     ) -> Network<M> {
-        let (tx, rx): (Sender<NetCommand<M>>, Receiver<NetCommand<M>>) = channel::unbounded();
+        let (tx, rx): (Sender<NetCommand<M>>, Receiver<NetCommand<M>>) =
+            channel::bounded(NET_QUEUE_CAP);
         let handle = std::thread::Builder::new()
             .name("crusader-net".into())
             .spawn(move || network_loop(&rx, sink, n, d, u, seed, chaos))
@@ -168,6 +237,13 @@ impl<M: Clone + Send + Sync + 'static> Network<M> {
 /// schedule from [`ChaosTimeline::crash_transitions`] plus a cursor.
 struct Transitions {
     schedule: Vec<(Time, usize, bool)>,
+    next: usize,
+}
+
+/// Panic-drill playback state: the sorted `(when, node)` schedule from
+/// [`ChaosTimeline::panic_schedule`] plus a cursor.
+struct PanicCursor {
+    schedule: Vec<(Time, usize)>,
     next: usize,
 }
 
@@ -197,6 +273,10 @@ fn network_loop<M: Clone + Send, S: DeliverySink<M>>(
     };
     let mut transitions = chaos.as_ref().map(|c| Transitions {
         schedule: c.timeline.crash_transitions(),
+        next: 0,
+    });
+    let mut panics = chaos.as_ref().map(|c| PanicCursor {
+        schedule: c.timeline.panic_schedule(),
         next: 0,
     });
     // Scenario time elapsed since the epoch; zero until the epoch is
@@ -229,6 +309,17 @@ fn network_loop<M: Clone + Send, S: DeliverySink<M>>(
                 }
             }
         }
+        if let (Some(pc), Some(c)) = (panics.as_mut(), chaos.as_ref()) {
+            if let Some(epoch) = c.epoch.get().copied() {
+                while pc.schedule.get(pc.next).is_some_and(|&(t, _)| {
+                    epoch + std::time::Duration::from_secs_f64(t.as_secs()) <= now
+                }) {
+                    let (_, node) = pc.schedule[pc.next];
+                    pc.next += 1;
+                    sink.deliver(NodeId::new(node), NodeEvent::PanicInject);
+                }
+            }
+        }
         while heap.peek().is_some_and(|m| m.deliver_at <= now) {
             let m = heap.pop().expect("peeked");
             sink.deliver(
@@ -246,6 +337,15 @@ fn network_loop<M: Clone + Send, S: DeliverySink<M>>(
         let mut deadline: Option<Instant> = heap.peek().map(|m| m.deliver_at);
         if let (Some(tr), Some(c)) = (transitions.as_ref(), chaos.as_ref()) {
             if let Some(&(t, _, _)) = tr.schedule.get(tr.next) {
+                let at = match c.epoch.get() {
+                    Some(epoch) => *epoch + std::time::Duration::from_secs_f64(t.as_secs()),
+                    None => now + std::time::Duration::from_millis(1),
+                };
+                deadline = Some(deadline.map_or(at, |d| d.min(at)));
+            }
+        }
+        if let (Some(pc), Some(c)) = (panics.as_ref(), chaos.as_ref()) {
+            if let Some(&(t, _)) = pc.schedule.get(pc.next) {
                 let at = match c.epoch.get() {
                     Some(epoch) => *epoch + std::time::Duration::from_secs_f64(t.as_secs()),
                     None => now + std::time::Duration::from_millis(1),

@@ -17,16 +17,18 @@
 //! holding it).
 
 use std::collections::{BinaryHeap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use crusader_crypto::{NodeId, Signer, Verifier};
 use crusader_sim::{Automaton, Context, RunObserver, TimerId};
 use crusader_time::{LocalTime, Time};
 
 use crate::clock::EmulatedClock;
-use crate::net::{NetCommand, NodeEvent};
+use crate::net::{NetCommand, NetLink, NodeEvent};
+use crate::supervise::{self, Counters, Heartbeats};
 
 struct PendingTimer {
     fire_local: LocalTime,
@@ -72,13 +74,14 @@ impl<M> Outbox<M> {
         }
     }
 
-    /// Sends the buffered messages out through the network channel.
-    pub fn flush(&mut self, from: NodeId, net: &Sender<NetCommand<M>>) {
+    /// Sends the buffered messages out through the network link (which
+    /// retries with backoff if the network queue is full).
+    pub fn flush(&mut self, from: NodeId, net: &NetLink<M>) {
         for (to, msg) in self.sends.drain(..) {
-            let _ = net.send(NetCommand::Send { from, to, msg });
+            net.send(NetCommand::Send { from, to, msg });
         }
         for msg in self.broadcasts.drain(..) {
-            let _ = net.send(NetCommand::Broadcast { from, msg });
+            net.send(NetCommand::Broadcast { from, msg });
         }
     }
 }
@@ -235,8 +238,12 @@ impl<A: Automaton> NodeCore<A> {
                 self.automaton.on_message(from, msg, &mut ctx);
             }
             (Some(NodeEvent::Shutdown), _) => return false,
-            // Freeze/Thaw are consumed in `on_event` before dispatch.
-            (Some(NodeEvent::Freeze | NodeEvent::Thaw), _) => {}
+            // Thaw reaches dispatch as the recovery notification; the
+            // automaton clears its own stale state (inboxes, signature
+            // memos) and re-arms from scratch.
+            (Some(NodeEvent::Thaw), _) => self.automaton.on_recover(&mut ctx),
+            // Freeze and panic drills are consumed in `on_event`.
+            (Some(NodeEvent::Freeze | NodeEvent::PanicInject), _) => {}
             (None, Some(id)) => self.automaton.on_timer(id, &mut ctx),
             (None, None) => self.automaton.on_init(&mut ctx),
         }
@@ -307,10 +314,26 @@ impl<A: Automaton> NodeCore<A> {
             }
             NodeEvent::Thaw => {
                 self.frozen = false;
+                // Stale-state rejoin fix: timers armed before the crash
+                // (and their cancel bookkeeping) must not fire into the
+                // rejoin handshake — drop everything pending before the
+                // automaton's recovery hook re-arms what it needs.
+                self.timers.clear();
+                self.cancelled.clear();
+                self.dispatch(Some(NodeEvent::Thaw), None, out);
                 return true;
             }
             // A crashed node runs no handlers: deliveries to it are
-            // simply lost, as in the simulator.
+            // simply lost, as in the simulator — and a panic drill
+            // aimed at a crashed node fizzles.
+            NodeEvent::PanicInject if self.frozen => return true,
+            NodeEvent::PanicInject => {
+                panic!(
+                    "{}: node {} panicked on schedule",
+                    supervise::INJECTED_PANIC_PREFIX,
+                    self.me
+                );
+            }
             NodeEvent::Deliver { .. } if self.frozen => return true,
             event => {
                 if !self.dispatch(Some(event), None, out) {
@@ -363,9 +386,53 @@ impl<A: Automaton> NodeCore<A> {
         None
     }
 
+    /// Records a violation from outside a handler context — the
+    /// backends use it to log contained handler panics against the
+    /// node.
+    pub fn note_violation(&mut self, text: &str) {
+        if let Some((obs, epoch)) = &self.observer {
+            let at = Time::from_secs(
+                Instant::now()
+                    .saturating_duration_since(*epoch)
+                    .as_secs_f64(),
+            );
+            obs.on_violation(Some(self.me), text, at);
+        }
+        self.violations.push(format!("{}: {text}", self.me));
+    }
+
     /// Surrenders the buffered pulse log and violations.
     pub fn into_results(self) -> (Vec<(u64, Instant)>, Vec<String>) {
         (self.pulses, self.violations)
+    }
+}
+
+/// Runs `f` over the core with panic containment: a panicking handler
+/// rolls the outbox back to its pre-call state (messages earlier
+/// handlers flushed into it this quantum survive), is counted against
+/// the fault budget, and — unless it is an injected drill — recorded as
+/// a violation on the node. Returns `None` when `f` panicked; the node
+/// keeps running (graceful degradation, not abort).
+pub(crate) fn contained<A: Automaton, R>(
+    core: &mut NodeCore<A>,
+    out: &mut Outbox<A::Msg>,
+    counters: &Counters,
+    f: impl FnOnce(&mut NodeCore<A>, &mut Outbox<A::Msg>) -> R,
+) -> Option<R> {
+    let (s0, b0) = (out.sends.len(), out.broadcasts.len());
+    match catch_unwind(AssertUnwindSafe(|| f(core, out))) {
+        Ok(r) => Some(r),
+        Err(payload) => {
+            out.sends.truncate(s0);
+            out.broadcasts.truncate(b0);
+            counters.note_panic();
+            counters.note_fault_budget();
+            let msg = supervise::panic_message(&*payload);
+            if !supervise::is_injected(&msg) {
+                core.note_violation(&format!("handler panicked: {msg}"));
+            }
+            None
+        }
     }
 }
 
@@ -375,29 +442,43 @@ impl<A: Automaton> NodeCore<A> {
 pub(crate) fn node_loop<A: Automaton>(
     mut core: NodeCore<A>,
     inbox: &Receiver<NodeEvent<A::Msg>>,
-    net: &Sender<NetCommand<A::Msg>>,
+    net: &NetLink<A::Msg>,
+    counters: &Counters,
+    heartbeats: &Heartbeats,
 ) -> NodeCore<A> {
+    let idx = core.me().index();
     let mut out = Outbox::new();
-    core.init(&mut out);
+    contained(&mut core, &mut out, counters, |c, o| c.init(o));
     out.flush(core.me(), net);
     loop {
-        core.fire_due(&mut out);
+        contained(&mut core, &mut out, counters, |c, o| c.fire_due(o));
         out.flush(core.me(), net);
-        // Wait for the next message or timer deadline.
-        let result = match core.next_deadline() {
+        // Wait for the next message or timer deadline, reporting the
+        // deadline to the watchdog first.
+        let deadline = core.next_deadline();
+        heartbeats.set_deadline(idx, if core.done { None } else { deadline });
+        let result = match deadline {
             Some(at) => inbox.recv_deadline(at),
             None => inbox.recv().map_err(|_| RecvTimeoutError::Disconnected),
         };
         match result {
             Ok(event) => {
-                let keep_going = core.on_event(event, &mut out);
+                // A contained panic is not a shutdown: keep running.
+                let keep_going = contained(&mut core, &mut out, counters, |c, o| {
+                    c.on_event(event, o)
+                })
+                .unwrap_or(true);
                 out.flush(core.me(), net);
                 if !keep_going {
+                    heartbeats.set_deadline(idx, None);
                     return core;
                 }
             }
             Err(RecvTimeoutError::Timeout) => { /* loop fires due timers */ }
-            Err(RecvTimeoutError::Disconnected) => return core,
+            Err(RecvTimeoutError::Disconnected) => {
+                heartbeats.set_deadline(idx, None);
+                return core;
+            }
         }
     }
 }

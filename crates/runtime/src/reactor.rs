@@ -55,13 +55,28 @@
 //!   per scheduling; if the inbox still has more (or grew while the
 //!   worker was clearing the flag), the cell is re-scheduled at the back
 //!   of the ready queue, so one hot node cannot starve 2047 others.
+//! * **Supervision.** A handler panic is contained per event: the
+//!   outbox rolls back to its pre-event state, the unprocessed tail of
+//!   the batch is re-spliced to the *front* of the node's inbox (no
+//!   event lost, none delivered twice), and the panic is counted — then
+//!   the worker carrying it dies and a dedicated supervisor thread
+//!   respawns a replacement that adopts the same ready queue, so the
+//!   dead worker's backlog is picked up by the pool. A watchdog thread
+//!   scans per-node heartbeat slots (each node's next registered timer
+//!   deadline) and re-schedules nodes whose deadline is long overdue —
+//!   the signature of a wakeup lost to a wedged scheduler. Faults
+//!   beyond the `⌊(n − 1)/2⌋` budget flip the run into logged, degraded
+//!   mode; nothing aborts.
 //! * **Shutdown.** The harness pushes `Shutdown` into every inbox,
 //!   schedules every cell, then enqueues one sentinel per worker.
 //!   Channel FIFO order means every pre-shutdown wakeup drains first;
-//!   workers exit on the sentinel, then the network and timer threads
-//!   are joined, and the pulse logs are harvested from the cells with
-//!   everything quiescent — no lock is ever held while converting.
+//!   workers exit on the sentinel, then the supervisor, network, timer
+//!   and watchdog threads are joined, and the pulse logs are harvested
+//!   from the cells with everything quiescent — no lock is ever held
+//!   while converting.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -76,8 +91,9 @@ use rand::Rng;
 
 use crate::clock::EmulatedClock;
 use crate::harness::{BackendRun, RuntimeConfig};
-use crate::net::{NetChaos, NetCommand, Network, NodeEvent};
+use crate::net::{NetChaos, NetCommand, NetLink, Network, NodeEvent};
 use crate::node::{NodeCore, Outbox};
+use crate::supervise::{self, Counters, Heartbeats};
 use crate::wheel::{TimerWheel, WheelKey};
 
 /// Max events one scheduling quantum may process before the node goes
@@ -182,29 +198,109 @@ enum WheelCmd {
     Stop,
 }
 
+/// Everything a worker thread needs to run nodes. The supervisor moves
+/// a dead worker's context into its replacement, so the replacement
+/// adopts the same ready queue (and with it the dead worker's backlog).
+struct WorkerCtx<A: Automaton> {
+    shared: Arc<Shared<A>>,
+    ready_rx: Receiver<u32>,
+    net: NetLink<A::Msg>,
+    wheel_tx: Sender<WheelCmd>,
+    counters: Arc<Counters>,
+    heartbeats: Arc<Heartbeats>,
+}
+
+// Manual impl: `derive(Clone)` would demand `A: Clone`.
+impl<A: Automaton> Clone for WorkerCtx<A> {
+    fn clone(&self) -> Self {
+        WorkerCtx {
+            shared: Arc::clone(&self.shared),
+            ready_rx: self.ready_rx.clone(),
+            net: self.net.clone(),
+            wheel_tx: self.wheel_tx.clone(),
+            counters: Arc::clone(&self.counters),
+            heartbeats: Arc::clone(&self.heartbeats),
+        }
+    }
+}
+
+/// Pushes `tail` back onto the *front* of the cell's inbox, ahead of
+/// anything that arrived since it was taken, preserving delivery order.
+fn splice_front<A: Automaton>(cell: &Cell<A>, tail: Vec<NodeEvent<A::Msg>>) {
+    if tail.is_empty() {
+        return;
+    }
+    let mut inbox = cell.inbox.lock();
+    let newer = std::mem::replace(&mut *inbox, tail);
+    inbox.extend(newer);
+}
+
+/// Runs one handler call with panic capture: rolls the outbox back to
+/// its pre-call state, counts the panic against the fault budget,
+/// records it as a violation on the node (injected drills excepted) and
+/// hands the payload back so the worker can die with it — the
+/// supervisor respawns a replacement.
+fn guarded<A: Automaton, R>(
+    core: &mut NodeCore<A>,
+    out: &mut Outbox<A::Msg>,
+    counters: &Counters,
+    f: impl FnOnce(&mut NodeCore<A>, &mut Outbox<A::Msg>) -> R,
+) -> Result<R, Box<dyn Any + Send>> {
+    let (s0, b0) = (out.sends.len(), out.broadcasts.len());
+    match catch_unwind(AssertUnwindSafe(|| f(core, out))) {
+        Ok(r) => Ok(r),
+        Err(payload) => {
+            out.sends.truncate(s0);
+            out.broadcasts.truncate(b0);
+            counters.note_panic();
+            counters.note_fault_budget();
+            let msg = supervise::panic_message(&*payload);
+            if !supervise::is_injected(&msg) {
+                core.note_violation(&format!("handler panicked: {msg}"));
+            }
+            Err(payload)
+        }
+    }
+}
+
 /// One scheduling quantum for node `idx` on a worker thread.
+///
+/// A handler panic does not lose state: the outbox rolls back to the
+/// pre-event point, the unprocessed tail of the batch goes back to the
+/// front of the inbox (no event lost, none delivered twice), the cell's
+/// scheduling bookkeeping completes as usual — and the payload is
+/// returned so the worker carrying the panic dies and is respawned.
 fn run_node<A: Automaton>(
-    shared: &Shared<A>,
+    ctx: &WorkerCtx<A>,
     idx: usize,
     out: &mut Outbox<A::Msg>,
-    net: &Sender<NetCommand<A::Msg>>,
-    wheel_tx: &Sender<WheelCmd>,
-) {
+) -> Result<(), Box<dyn Any + Send>> {
+    let shared = &*ctx.shared;
     let cell = &shared.cells[idx];
+    let mut panic_payload: Option<Box<dyn Any + Send>> = None;
     let deadline_pending = {
         let mut guard = cell.core.lock();
         let Some(core) = guard.as_mut() else {
             cell.queued.store(false, Ordering::Release);
-            return;
+            return Ok(());
         };
         if core.done {
-            cell.inbox.lock().clear();
+            let leftover = {
+                let mut inbox = cell.inbox.lock();
+                let n = inbox.len();
+                inbox.clear();
+                n
+            };
+            ctx.counters.note_discarded(leftover as u64);
+            ctx.heartbeats.set_deadline(idx, None);
             cell.queued.store(false, Ordering::Release);
-            return;
+            return Ok(());
         }
-        core.init(out);
+        if let Err(p) = guarded(core, out, &ctx.counters, |c, o| c.init(o)) {
+            panic_payload = Some(p);
+        }
         let mut processed = 0;
-        'events: while processed < BATCH_EVENTS {
+        'events: while panic_payload.is_none() && processed < BATCH_EVENTS {
             let mut batch = std::mem::take(&mut *cell.inbox.lock());
             if batch.is_empty() {
                 break;
@@ -215,19 +311,37 @@ fn run_node<A: Automaton>(
             // monopolize its worker and starve every other node's timers.
             if batch.len() > BATCH_EVENTS - processed {
                 let tail = batch.split_off(BATCH_EVENTS - processed);
-                let mut inbox = cell.inbox.lock();
-                let newer = std::mem::replace(&mut *inbox, tail);
-                inbox.extend(newer);
+                splice_front(cell, tail);
             }
-            for event in batch {
+            let mut events = batch.into_iter();
+            while let Some(event) = events.next() {
                 processed += 1;
-                if !core.on_event(event, out) {
-                    break 'events; // shutdown; the rest is moot
+                match guarded(core, out, &ctx.counters, |c, o| c.on_event(event, o)) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        // Shutdown: the rest of the batch is moot, but
+                        // count it so message accounting stays honest.
+                        ctx.counters.note_discarded(events.count() as u64);
+                        break 'events;
+                    }
+                    Err(p) => {
+                        // Worker-panic teardown fix: requeue the
+                        // unprocessed tail deterministically instead of
+                        // dropping it with the dying worker.
+                        let tail: Vec<_> = events.collect();
+                        splice_front(cell, tail);
+                        panic_payload = Some(p);
+                        break 'events;
+                    }
                 }
             }
         }
-        core.fire_due(out);
-        out.flush(core.me(), net);
+        if panic_payload.is_none() {
+            if let Err(p) = guarded(core, out, &ctx.counters, |c, o| c.fire_due(o)) {
+                panic_payload = Some(p);
+            }
+        }
+        out.flush(core.me(), &ctx.net);
         // Register (or clear) this node's wakeup with the timer thread.
         // Re-registration is needed when the earliest deadline changed
         // *or* the wheel no longer holds our entry (it fired — possibly
@@ -243,22 +357,76 @@ fn run_node<A: Automaton>(
         if needs_register {
             core.registered_wakeup = next;
             cell.wheel_armed.store(next.is_some(), Ordering::Release);
-            let _ = wheel_tx.send(WheelCmd::Register {
+            let _ = ctx.wheel_tx.send(WheelCmd::Register {
                 node: idx as u32,
                 at: next,
             });
         }
+        ctx.heartbeats
+            .set_deadline(idx, if core.done { None } else { next });
         next.is_some()
     };
     cell.queued.store(false, Ordering::Release);
     // Lost-wakeup checks: events that arrived between the inbox drain
-    // and the flag clear (or past the batch cap) re-schedule the node;
-    // so does a wheel wakeup that fired mid-run and found `queued` set.
+    // and the flag clear (or past the batch cap, or requeued by a panic)
+    // re-schedule the node; so does a wheel wakeup that fired mid-run
+    // and found `queued` set.
     if !cell.inbox.lock().is_empty()
         || (deadline_pending && !cell.wheel_armed.load(Ordering::Acquire))
     {
         shared.schedule(idx);
     }
+    match panic_payload {
+        Some(p) => Err(p),
+        None => Ok(()),
+    }
+}
+
+/// A worker's main loop: drain the urgent lane, then run ready nodes.
+/// A node panic is re-raised here — the worker dies with it and the
+/// supervisor respawns a replacement.
+fn worker_main<A: Automaton>(ctx: &WorkerCtx<A>) {
+    let mut out = Outbox::new();
+    while let Ok(idx) = ctx.ready_rx.recv() {
+        if idx == STOP {
+            return;
+        }
+        // Expired deadlines first; the ready-queue entry waits its turn
+        // behind them.
+        loop {
+            let next = ctx.shared.urgent.lock().pop_front();
+            match next {
+                Some(u) => {
+                    if let Err(p) = run_node(ctx, u as usize, &mut out) {
+                        std::panic::resume_unwind(p);
+                    }
+                }
+                None => break,
+            }
+        }
+        if idx != KICK {
+            if let Err(p) = run_node(ctx, idx as usize, &mut out) {
+                std::panic::resume_unwind(p);
+            }
+        }
+    }
+}
+
+/// Spawns one worker thread. On exit — clean or by panic — the worker
+/// reports `(its context, panicked)` to the supervisor through
+/// `exit_tx`, which decides between respawn and retirement.
+fn spawn_worker<A: Automaton>(
+    name: String,
+    ctx: WorkerCtx<A>,
+    exit_tx: Sender<(WorkerCtx<A>, bool)>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            let panicked = catch_unwind(AssertUnwindSafe(|| worker_main(&ctx))).is_err();
+            let _ = exit_tx.send((ctx, panicked));
+        })
+        .expect("spawn worker thread")
 }
 
 fn timer_loop<A: Automaton>(
@@ -364,6 +532,9 @@ where
         })
         .max(1);
     let t0 = Instant::now();
+    let counters = Arc::new(Counters::new(cfg.n));
+    let heartbeats = Arc::new(Heartbeats::new(cfg.n, t0));
+    let stop = Arc::new(AtomicBool::new(false));
     // The epoch is a hair in the future so every clock starts at its
     // configured offset, mirroring the thread backend's barrier anchor.
     let epoch = t0 + Duration::from_millis(2);
@@ -432,39 +603,71 @@ where
             .expect("spawn timer thread")
     };
 
+    // The watchdog nudges stalled nodes back through the urgent lane.
+    let watchdog = {
+        let shared = Arc::clone(&shared);
+        supervise::spawn_watchdog(
+            Arc::clone(&heartbeats),
+            Arc::clone(&counters),
+            supervise::stall_threshold(cfg.d),
+            Arc::clone(&stop),
+            move |idx| shared.schedule_urgent(idx),
+        )
+    };
+
+    let net = NetLink::new(network.commands.clone(), Arc::clone(&counters));
+    let (exit_tx, exit_rx) = channel::unbounded::<(WorkerCtx<A>, bool)>();
     let worker_handles: Vec<_> = (0..workers)
         .map(|w| {
-            let shared = Arc::clone(&shared);
-            let ready_rx = ready_rx.clone();
-            let net = network.commands.clone();
-            let wheel_tx = wheel_tx.clone();
-            std::thread::Builder::new()
-                .name(format!("crusader-worker-{w}"))
-                .spawn(move || {
-                    let mut out = Outbox::new();
-                    while let Ok(idx) = ready_rx.recv() {
-                        if idx == STOP {
-                            return;
-                        }
-                        // Expired deadlines first; the ready-queue entry
-                        // waits its turn behind them.
-                        loop {
-                            let next = shared.urgent.lock().pop_front();
-                            match next {
-                                Some(u) => {
-                                    run_node(&shared, u as usize, &mut out, &net, &wheel_tx);
-                                }
-                                None => break,
-                            }
-                        }
-                        if idx != KICK {
-                            run_node(&shared, idx as usize, &mut out, &net, &wheel_tx);
-                        }
-                    }
-                })
-                .expect("spawn worker thread")
+            let ctx = WorkerCtx {
+                shared: Arc::clone(&shared),
+                ready_rx: ready_rx.clone(),
+                net: net.clone(),
+                wheel_tx: wheel_tx.clone(),
+                counters: Arc::clone(&counters),
+                heartbeats: Arc::clone(&heartbeats),
+            };
+            spawn_worker(format!("crusader-worker-{w}"), ctx, exit_tx.clone())
         })
         .collect();
+
+    // The supervisor owns the exit channel: a worker that died of a
+    // panic (before shutdown began) is replaced by a fresh thread
+    // adopting its context — same ready queue, so the dead worker's
+    // backlog is picked up by the pool.
+    let supervisor = {
+        let counters = Arc::clone(&counters);
+        let stop = Arc::clone(&stop);
+        let exit_tx = exit_tx.clone();
+        std::thread::Builder::new()
+            .name("crusader-supervisor".into())
+            .spawn(move || {
+                let mut live = workers;
+                let mut generation = 0u64;
+                let mut respawned = Vec::new();
+                while live > 0 {
+                    let Ok((ctx, panicked)) = exit_rx.recv() else {
+                        break;
+                    };
+                    if panicked && !stop.load(Ordering::Acquire) {
+                        generation += 1;
+                        counters.note_respawn();
+                        respawned.push(spawn_worker(
+                            format!("crusader-worker-respawn-{generation}"),
+                            ctx,
+                            exit_tx.clone(),
+                        ));
+                    } else {
+                        live -= 1;
+                    }
+                }
+                for handle in respawned {
+                    let _ = handle.join();
+                }
+            })
+            .expect("spawn supervisor thread")
+    };
+    drop(exit_tx);
 
     // Kick every live node so its `on_init` runs (lazily, on a worker).
     for i in 0..cfg.n {
@@ -486,27 +689,30 @@ where
     for _ in 0..workers {
         let _ = ready_tx.send(STOP);
     }
-    let mut worker_panic = None;
+    // Panics from here on retire the worker instead of respawning it —
+    // the run is over.
+    stop.store(true, Ordering::Release);
+    let _ = supervisor.join();
     for handle in worker_handles {
-        if let Err(payload) = handle.join() {
-            worker_panic = Some(payload);
-        }
+        let _ = handle.join();
     }
     let _ = network.commands.send(NetCommand::Shutdown);
     let (messages_delivered, chaos_dropped) = network.handle.join().unwrap_or((0, 0));
     let _ = wheel_tx.send(WheelCmd::Stop);
     let _ = timer_handle.join();
-    if let Some(payload) = worker_panic {
-        // An automaton handler blew up on a worker; resume the panic on
-        // the caller like the thread backend's join would.
-        std::panic::resume_unwind(payload);
-    }
+    // The watchdog's nudge closure holds the `Shared` handle; join it
+    // before harvesting.
+    let _ = watchdog.join();
+    drop(net);
 
-    // Everything is joined: harvest without contention.
+    // Everything is joined: harvest without contention. Events still
+    // queued (deliveries that raced shutdown) are counted as discarded,
+    // never silently lost.
     let shared = Arc::into_inner(shared).expect("all thread handles joined");
     let mut pulse_log = vec![Vec::new(); cfg.n];
     let mut violations = Vec::new();
     for (i, cell) in shared.cells.into_iter().enumerate() {
+        counters.note_discarded(cell.inbox.into_inner().len() as u64);
         if let Some(core) = cell.core.into_inner() {
             let (pulses, viols) = core.into_results();
             pulse_log[i] = pulses;
@@ -519,5 +725,6 @@ where
         violations,
         messages_delivered,
         chaos_dropped,
+        supervision: counters.snapshot(),
     }
 }

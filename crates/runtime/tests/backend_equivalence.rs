@@ -214,16 +214,19 @@ fn reactor_hosts_hundreds_of_nodes() {
     );
 }
 
-/// A handler panic on a reactor worker propagates to the caller instead
-/// of silently starving the run (mirrors the sharded simulator's
-/// panic-forwarding worker pool).
+/// A handler panic on a reactor worker is *contained*: the run
+/// completes, the panic is recorded as a violation against the node and
+/// counted on the supervision stats, the worker that carried it is
+/// respawned, and — with every node's only handler blowing up, far past
+/// the `⌊(n − 1)/2⌋` budget — the run reports itself degraded instead of
+/// aborting.
 #[test]
-fn reactor_propagates_handler_panics() {
+fn reactor_contains_handler_panics() {
     struct Bomb;
     impl crusader_sim::Automaton for Bomb {
         type Msg = crusader_core::Carry;
         fn on_init(&mut self, _ctx: &mut dyn crusader_sim::Context<Self::Msg>) {
-            panic!("boom: handler panic must reach the caller");
+            panic!("boom: handler panic must be contained");
         }
         fn on_message(
             &mut self,
@@ -253,6 +256,19 @@ fn reactor_propagates_handler_panics() {
         chaos: None,
         observer: None,
     };
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&cfg, |_me| Bomb)));
-    assert!(result.is_err(), "panic must propagate");
+    let report = run(&cfg, |_me| Bomb);
+    assert!(
+        report
+            .trace
+            .violations
+            .iter()
+            .any(|v| v.contains("handler panicked")),
+        "panic must be recorded as a violation: {:?}",
+        report.trace.violations
+    );
+    let sup = report.supervision;
+    assert!(sup.worker_panics >= 2, "both bombs counted: {sup:?}");
+    assert!(sup.worker_respawns >= 1, "dead worker respawned: {sup:?}");
+    assert!(sup.degraded, "2 panics exceed a budget of 0: {sup:?}");
+    assert_eq!(sup.fault_budget, 0);
 }

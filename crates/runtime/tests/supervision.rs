@@ -1,0 +1,251 @@
+//! Supervision-layer tests: injected panic drills are contained on both
+//! backends (the reactor additionally respawns the worker that died
+//! carrying the panic), no node is lost, and requeued events are never
+//! double-delivered — under hand-picked and property-randomized panic
+//! schedules.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crusader_core::{CpsNode, Params};
+use crusader_crypto::{CarriesSignatures, NodeId};
+use crusader_runtime::{run, Backend, RuntimeConfig};
+use crusader_sim::metrics::pulse_stats;
+use crusader_sim::{Automaton, ChaosTimeline, Context, TimerId};
+use crusader_time::{Dur, LocalTime, Time};
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+
+/// Silences the default panic-hook backtrace chatter for the injected
+/// drills this suite fires on purpose; real panics still print.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.starts_with("injected fault") {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Wall-clock-feasible link bounds (the chaos catalog's values): host
+/// scheduling jitter — and the milliseconds a panic unwind plus thread
+/// respawn cost — must fit inside the protocol's slack, which LAN-like
+/// 5 ms bounds do not leave on a shared host.
+fn cps_cfg(backend: Backend, chaos: ChaosTimeline, seed: u64) -> (RuntimeConfig, Params) {
+    let d = Dur::from_millis(20.0);
+    let u = Dur::from_millis(6.0);
+    let params = Params::max_resilience(4, d, u, 1.01);
+    let derived = params.derive().unwrap();
+    let cfg = RuntimeConfig {
+        n: 4,
+        d,
+        u,
+        theta: 1.01,
+        max_offset: derived.s,
+        run_for: Duration::from_millis(1500),
+        seed,
+        backend,
+        workers: Some(2),
+        chaos: Some(Arc::new(chaos)),
+        ..RuntimeConfig::new(4)
+    };
+    (cfg, params)
+}
+
+/// Runs the drill scenario, retrying up to three attempts if host
+/// scheduling loses a round (same policy and rationale as the chaos
+/// crate's wall-clock tests: a genuine regression fails every attempt,
+/// a scheduler stall does not repeat).
+fn run_drill(cfg: &crusader_runtime::RuntimeConfig, params: Params) -> crusader_runtime::RuntimeReport {
+    let derived = params.derive().unwrap();
+    let mut report = run(cfg, |me| CpsNode::new(me, params, derived));
+    for _ in 0..2 {
+        if report.trace.violations.is_empty() {
+            break;
+        }
+        report = run(cfg, |me| CpsNode::new(me, params, derived));
+    }
+    report
+}
+
+/// An injected drill on the reactor kills the worker carrying it; the
+/// supervisor respawns a replacement and the clean pulse cadence of the
+/// whole fleet continues — zero violations, since a drill is not a
+/// protocol bug.
+#[test]
+fn reactor_respawns_worker_after_injected_panic() {
+    quiet_injected_panics();
+    let mut chaos = ChaosTimeline::new(4);
+    chaos.panic_at(1, Time::from_millis(200.0));
+    let (cfg, params) = cps_cfg(Backend::Reactor, chaos, 17);
+    let report = run_drill(&cfg, params);
+    assert!(
+        report.trace.violations.is_empty(),
+        "{:?}",
+        report.trace.violations
+    );
+    let everyone: Vec<NodeId> = NodeId::all(4).collect();
+    let stats = pulse_stats(&report.trace, &everyone);
+    assert!(
+        stats.complete_pulses >= 3,
+        "fleet stalled after the drill: {} pulses",
+        stats.complete_pulses
+    );
+    let sup = report.supervision;
+    assert!(sup.worker_panics >= 1, "{sup:?}");
+    assert!(sup.worker_respawns >= 1, "{sup:?}");
+    assert_eq!(sup.fault_budget, 1);
+}
+
+/// On the thread backend the same drill is contained inside the node's
+/// own event loop — nothing to respawn, same survival.
+#[test]
+fn threads_contain_injected_panic_in_place() {
+    quiet_injected_panics();
+    let mut chaos = ChaosTimeline::new(4);
+    chaos.panic_at(2, Time::from_millis(200.0));
+    let (cfg, params) = cps_cfg(Backend::Threads, chaos, 19);
+    let report = run_drill(&cfg, params);
+    assert!(
+        report.trace.violations.is_empty(),
+        "{:?}",
+        report.trace.violations
+    );
+    let everyone: Vec<NodeId> = NodeId::all(4).collect();
+    let stats = pulse_stats(&report.trace, &everyone);
+    assert!(stats.complete_pulses >= 3);
+    let sup = report.supervision;
+    assert!(sup.worker_panics >= 1, "{sup:?}");
+    assert_eq!(sup.worker_respawns, 0, "{sup:?}");
+}
+
+/// Sequence-stamped gossip for the double-delivery check: every node
+/// broadcasts a strictly increasing sequence number on a 10 ms cadence
+/// and every receiver flags an exact repeat of a (sender, seq) pair —
+/// which is precisely what a doubly-requeued inbox event would produce.
+///
+/// The detector deliberately tolerates *reordering*: the network model
+/// delivers with iid delays in `[d − u, d]` and never promised FIFO, so
+/// two broadcasts fired back-to-back while a node catches up on overdue
+/// timers after a respawn stall can legally swap in flight. (The cadence
+/// is re-armed relative to the current local time for the same reason —
+/// a stalled node must not burst out its backlog in one instant.)
+#[derive(Debug, Clone)]
+struct Ping {
+    seq: u64,
+}
+impl CarriesSignatures for Ping {}
+
+struct Pinger {
+    seq: u64,
+    seen: Vec<std::collections::HashSet<u64>>,
+}
+
+impl Pinger {
+    fn new(n: usize) -> Self {
+        Pinger {
+            seq: 0,
+            seen: vec![std::collections::HashSet::new(); n],
+        }
+    }
+}
+
+impl Automaton for Pinger {
+    type Msg = Ping;
+
+    fn on_init(&mut self, ctx: &mut dyn Context<Ping>) {
+        ctx.set_timer_at(LocalTime::from_millis(10.0));
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut dyn Context<Ping>) {
+        if !self.seen[from.index()].insert(msg.seq) {
+            ctx.mark_violation(format!("{from} delivered seq {} twice", msg.seq));
+        }
+    }
+
+    fn on_timer(&mut self, _t: TimerId, ctx: &mut dyn Context<Ping>) {
+        self.seq += 1;
+        ctx.broadcast(Ping { seq: self.seq });
+        ctx.pulse(self.seq);
+        let next = ctx.local_time() + Dur::from_millis(10.0);
+        ctx.set_timer_at(next);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Random panic schedules on both backends: no node ever disappears
+    /// (everyone keeps pulsing), no requeued message is double-delivered
+    /// (no receiver ever sees the same (sender, seq) pair twice), and
+    /// every scheduled drill is accounted for.
+    #[test]
+    fn respawn_after_panic_loses_no_node_and_no_message(
+        seed in 0u64..1_000,
+        // Each drill is one integer encoding (node, fire instant):
+        // node = code % 4, instant = 10 ms + code / 4 ms (10..70 ms).
+        drills in proptest::collection::vec(0u64..240, 0..=4),
+    ) {
+        quiet_injected_panics();
+        for backend in [Backend::Threads, Backend::Reactor] {
+            let mut chaos = ChaosTimeline::new(4);
+            for &code in &drills {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+                chaos.panic_at((code % 4) as usize, Time::from_millis(10.0 + (code / 4) as f64));
+            }
+            let cfg = RuntimeConfig {
+                n: 4,
+                d: Dur::from_millis(3.0),
+                u: Dur::from_millis(1.0),
+                theta: 1.001,
+                max_offset: Dur::from_millis(0.5),
+                run_for: Duration::from_millis(150),
+                seed,
+                backend,
+                workers: Some(2),
+                chaos: Some(Arc::new(chaos)),
+                ..RuntimeConfig::new(4)
+            };
+            let report = run(&cfg, |_me| Pinger::new(4));
+            prop_assert!(
+                report.trace.violations.is_empty(),
+                "{backend}: {:?}",
+                report.trace.violations
+            );
+            for i in 0..4 {
+                prop_assert!(
+                    !report.trace.pulses[i].is_empty(),
+                    "{backend}: node {i} was lost after the drills"
+                );
+            }
+            let sup = report.supervision;
+            prop_assert_eq!(
+                sup.worker_panics,
+                drills.len() as u64,
+                "{}: {:?}",
+                backend,
+                sup
+            );
+            if backend == Backend::Reactor {
+                prop_assert_eq!(
+                    sup.worker_respawns,
+                    drills.len() as u64,
+                    "{}: {:?}",
+                    backend,
+                    sup
+                );
+            } else {
+                prop_assert_eq!(sup.worker_respawns, 0);
+            }
+        }
+    }
+}

@@ -36,6 +36,23 @@ pub trait Automaton: Send + 'static {
 
     /// Called when a timer set via [`Context::set_timer_at`] fires.
     fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<Self::Msg>);
+
+    /// Called when the node comes back up after a crash window (or after
+    /// a supervised panic on the wall-clock runtime).
+    ///
+    /// Deliveries that arrived while the node was down have been
+    /// dropped. Pre-crash timers are *not* silently cancelled by every
+    /// executor: the wall-clock runtime clears its timer heap before
+    /// calling this, but the simulator defers them to the recovery
+    /// instant and fires them *after* this handler (deterministically
+    /// later in the event order). A recovering automaton must therefore
+    /// drop its own timer bookkeeping here so any stale timer that still
+    /// fires is recognized and ignored. The handler's job is to rebuild:
+    /// clear stale protocol state and start whatever resynchronization
+    /// the protocol defines (see `crusader_core::RecoveringNode` for the
+    /// signed rejoin handshake). The default does nothing, which
+    /// preserves the historical behaviour of resuming with stale state.
+    fn on_recover(&mut self, _ctx: &mut dyn Context<Self::Msg>) {}
 }
 
 /// The world as visible to one protocol node.

@@ -118,6 +118,11 @@ pub struct ChaosTimeline {
     cuts: Vec<CutWindow>,
     storms: Vec<StormWindow>,
     floods: Vec<FloodWindow>,
+    /// Panic drills: `(instant, node)` — the wall-clock runtime injects a
+    /// handler panic at the given instant to exercise its supervision
+    /// layer. Simulated executors ignore drills (there is no worker to
+    /// kill); the scenario verdicts they gate run on the runtime.
+    panics: Vec<(Time, usize)>,
     /// Cached: which nodes appear in any crash window.
     ever_down: Vec<bool>,
 }
@@ -132,6 +137,7 @@ impl ChaosTimeline {
             cuts: Vec::new(),
             storms: Vec::new(),
             floods: Vec::new(),
+            panics: Vec::new(),
             ever_down: vec![false; n],
         }
     }
@@ -149,6 +155,7 @@ impl ChaosTimeline {
             && self.cuts.is_empty()
             && self.storms.is_empty()
             && self.floods.is_empty()
+            && self.panics.is_empty()
     }
 
     /// Adds a crash window for `node` over `[from, until)`.
@@ -206,6 +213,38 @@ impl ChaosTimeline {
             copies,
             rush,
         });
+    }
+
+    /// Schedules a panic drill: at `at`, `node`'s next handler invocation
+    /// on the wall-clock runtime panics (message `injected fault: …`),
+    /// exercising worker respawn and containment without counting as a
+    /// protocol violation. No-op on the simulated executors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `at` is not positive.
+    pub fn panic_at(&mut self, node: usize, at: Time) {
+        assert!(node < self.n, "panic node {node} out of range (n = {})", self.n);
+        assert!(at > Time::ZERO, "panic drills must fire after time 0");
+        self.panics.push((at, node));
+    }
+
+    /// Every scheduled panic drill as `(instant, node)`, sorted by
+    /// instant — the wall-clock runtime's injector walks this list.
+    #[must_use]
+    pub fn panic_schedule(&self) -> Vec<(Time, usize)> {
+        let mut out = self.panics.clone();
+        out.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite times").then(x.1.cmp(&y.1)));
+        out
+    }
+
+    /// Whether `node` appears in any crash window at all. Nodes for which
+    /// this holds may legitimately fast-forward their pulse index after
+    /// recovery (see `Trace`'s pulse accounting).
+    #[inline]
+    #[must_use]
+    pub fn was_ever_down(&self, node: NodeId) -> bool {
+        self.ever_down[node.index()]
     }
 
     /// Whether `node` is down (crashed) at `at`.
@@ -343,6 +382,7 @@ impl ChaosTimeline {
                     rush: w.rush,
                 })
                 .collect(),
+            panics: self.panics.iter().map(|&(at, node)| (s(at), node)).collect(),
             ever_down: self.ever_down.clone(),
         }
     }
@@ -429,6 +469,18 @@ mod tests {
             c.crash_transitions(),
             vec![(t(10.0), 1, true), (t(30.0), 3, true), (t(40.0), 3, false)]
         );
+    }
+
+    #[test]
+    fn panic_schedule_is_sorted_and_counts_against_empty() {
+        let mut c = ChaosTimeline::new(4);
+        assert!(c.is_empty());
+        c.panic_at(3, t(30.0));
+        c.panic_at(1, t(10.0));
+        assert!(!c.is_empty());
+        assert_eq!(c.panic_schedule(), vec![(t(10.0), 1), (t(30.0), 3)]);
+        let s = c.stretched(2.0);
+        assert_eq!(s.panic_schedule(), vec![(t(20.0), 1), (t(60.0), 3)]);
     }
 
     #[test]

@@ -200,7 +200,7 @@ impl SimBuilder {
         A: Automaton,
         F: FnMut(NodeId) -> A,
     {
-        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xc1a5_51ca_1_u64);
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xc_1a55_1ca1_u64);
         for f in &self.faulty {
             assert!(f.index() < self.n, "faulty node {f} out of range");
         }
@@ -539,6 +539,20 @@ impl<A: Automaton> Sim<A> {
                     self.dispatch_timer(node, id);
                 }
                 EventKind::AdvTimer { key } => self.dispatch_adv_timer(key),
+                EventKind::Recover { node } => {
+                    // One Recover event is scheduled per crash window at
+                    // init; with overlapping/adjacent windows the node
+                    // can still be down at this instant — the covering
+                    // window's own Recover event handles the real
+                    // resume, so this one is a no-op.
+                    let still_down = self
+                        .chaos
+                        .as_deref()
+                        .is_some_and(|c| c.down(node, self.now));
+                    if !still_down {
+                        self.with_node(node, |n, ctx| n.on_recover(ctx));
+                    }
+                }
             }
             // `done_by_pulses` can only change when a pulse was recorded,
             // so gate the O(honest) scan on that (it used to run per event).
@@ -556,10 +570,35 @@ impl<A: Automaton> Sim<A> {
     }
 
     fn init(&mut self) {
+        self.schedule_recoveries();
         for v in self.honest.clone() {
             self.with_node(v, |node, ctx| node.on_init(ctx));
         }
         self.with_adversary(|adv, api| adv.on_init(api));
+    }
+
+    /// Schedules one [`EventKind::Recover`] per honest crash window that
+    /// ends within the run, *before any other event exists*. The sharded
+    /// executor's init performs the identical pushes in the identical
+    /// order, so the events get the same seqs in both engines (keeping
+    /// sharded traces bit-identical) — and a seq lower than any timer
+    /// later deferred to the same recovery instant, so the recovery hook
+    /// always runs before the node's stale timers.
+    fn schedule_recoveries(&mut self) {
+        let Some(chaos) = self.chaos.clone() else {
+            return;
+        };
+        for (at, node, down) in chaos.crash_transitions() {
+            if down || self.faulty_mask[node] {
+                continue;
+            }
+            self.queue.push(
+                at,
+                EventKind::Recover {
+                    node: NodeId::new(node),
+                },
+            );
+        }
     }
 
     fn deliver(&mut self, from: NodeId, to: NodeId, msg: Payload<A::Msg>) {
@@ -692,7 +731,8 @@ impl<A: Automaton> Sim<A> {
                 }
                 Effect::Pulse { index } => {
                     let before = self.trace.violations.len();
-                    self.trace.record_pulse(v, index, self.now);
+                    let jump_ok = self.chaos.as_deref().is_some_and(|c| c.was_ever_down(v));
+                    self.trace.record_pulse(v, index, self.now, jump_ok);
                     if let Some(obs) = &self.observer {
                         // `record_pulse` may itself flag an out-of-order
                         // pulse; surface that to the observer too.

@@ -172,6 +172,13 @@ pub(crate) enum EventKind<M> {
     Timer { node: NodeId, id: TimerId },
     /// An adversary-scheduled real-time timer fires.
     AdvTimer { key: u64 },
+    /// A crashed node comes back up: run its
+    /// [`Automaton::on_recover`](crate::Automaton::on_recover) hook.
+    /// Scheduled at init time from the chaos timeline's crash windows
+    /// (identically in both engines, so seqs — and therefore sharded
+    /// traces — stay bit-identical), which also places it *before* any
+    /// timer deferred to the same recovery instant.
+    Recover { node: NodeId },
 }
 
 /// A popped event: the payload rejoined with its firing time.

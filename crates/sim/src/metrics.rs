@@ -3,9 +3,9 @@
 //! maximum period).
 
 use crusader_crypto::NodeId;
-use crusader_time::Dur;
+use crusader_time::{Dur, Time};
 
-use crate::Trace;
+use crate::{ChaosTimeline, Trace};
 
 /// Aggregate pulse-synchronization metrics for a set of (honest) nodes.
 #[derive(Clone, Debug)]
@@ -77,6 +77,48 @@ pub fn pulse_stats(trace: &Trace, nodes: &[NodeId]) -> PulseStats {
     }
 }
 
+/// One node recovery, measured in real time: when the node came back up
+/// and how long it took to emit its first post-recovery pulse.
+///
+/// Computed after the fact from the pulse trace and the chaos timeline —
+/// the executors record nothing extra, so enabling the metric cannot
+/// perturb event order or trace hashes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResyncEvent {
+    /// The recovered node.
+    pub node: NodeId,
+    /// The real instant the node came back up.
+    pub resumed_at: Time,
+    /// Real time from resumption to the node's first subsequent pulse —
+    /// the time-to-resync. `None` if the node never pulsed again before
+    /// the run ended.
+    pub time_to_pulse: Option<Dur>,
+}
+
+/// Time-to-resync for every recovery in `chaos`'s crash schedule, in
+/// `(resumed_at, node)` order.
+///
+/// Up-transitions swallowed by an overlapping or adjacent crash window
+/// (the node is still down at that instant) are skipped, mirroring the
+/// executors' own recovery scheduling.
+#[must_use]
+pub fn resync_times(trace: &Trace, chaos: &ChaosTimeline) -> Vec<ResyncEvent> {
+    let mut out = Vec::new();
+    for (at, node, down) in chaos.crash_transitions() {
+        let node = NodeId::new(node);
+        if down || chaos.down(node, at) {
+            continue;
+        }
+        let first = trace.pulses[node.index()].iter().copied().find(|&t| t >= at);
+        out.push(ResyncEvent {
+            node,
+            resumed_at: at,
+            time_to_pulse: first.map(|t| t - at),
+        });
+    }
+    out
+}
+
 /// Maximum skew over pulses `from..` (1-based, inclusive), ignoring the
 /// initial convergence phase. Returns `None` if fewer pulses completed.
 #[must_use]
@@ -96,7 +138,7 @@ mod tests {
         let mut t = Trace::new(pulses.len());
         for (v, times) in pulses.iter().enumerate() {
             for (i, secs) in times.iter().enumerate() {
-                t.record_pulse(NodeId::new(v), (i + 1) as u64, Time::from_secs(*secs));
+                t.record_pulse(NodeId::new(v), (i + 1) as u64, Time::from_secs(*secs), false);
             }
         }
         t
@@ -157,5 +199,35 @@ mod tests {
     fn empty_node_set_panics() {
         let t = trace_from(&[&[1.0]]);
         let _ = pulse_stats(&t, &[]);
+    }
+
+    #[test]
+    fn resync_times_from_trace_and_timeline() {
+        let t = trace_from(&[&[1.0, 2.0, 3.0], &[1.0, 5.5]]);
+        let mut chaos = ChaosTimeline::new(2);
+        // Node 1 down over [1.5, 5.0): resumes at 5.0, pulses at 5.5.
+        chaos.crash(1, Time::from_secs(1.5), Some(Time::from_secs(5.0)));
+        // Node 0 down over [10, 11): never pulses again.
+        chaos.crash(0, Time::from_secs(10.0), Some(Time::from_secs(11.0)));
+        let events = resync_times(&t, &chaos);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].node, NodeId::new(1));
+        assert_eq!(events[0].resumed_at, Time::from_secs(5.0));
+        assert_eq!(events[0].time_to_pulse, Some(Dur::from_secs(0.5)));
+        assert_eq!(events[1].node, NodeId::new(0));
+        assert_eq!(events[1].time_to_pulse, None);
+    }
+
+    #[test]
+    fn resync_skips_up_transitions_inside_other_windows() {
+        let t = trace_from(&[&[1.0, 9.5]]);
+        let mut chaos = ChaosTimeline::new(1);
+        // Overlapping windows: only the final resumption at 9.0 counts.
+        chaos.crash(0, Time::from_secs(2.0), Some(Time::from_secs(6.0)));
+        chaos.crash(0, Time::from_secs(5.0), Some(Time::from_secs(9.0)));
+        let events = resync_times(&t, &chaos);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].resumed_at, Time::from_secs(9.0));
+        assert_eq!(events[0].time_to_pulse, Some(Dur::from_secs(0.5)));
     }
 }

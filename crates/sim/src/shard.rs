@@ -344,6 +344,23 @@ impl<A: Automaton> Lane<A> {
                         }
                     }
                 }
+                EventKind::Recover { node } => {
+                    // Mirror of the single-lane arm: a later crash window
+                    // still covering this instant makes the event a no-op
+                    // (counted like any pop, handled by its own Recover).
+                    if sh.chaos.as_deref().is_some_and(|c| c.down(node, at)) {
+                        RecordBody::Stale
+                    } else {
+                        let effects = self.run_handler(sh, node, at, Some(window), |n, ctx| {
+                            n.on_recover(ctx);
+                        });
+                        RecordBody::Honest {
+                            node,
+                            delivery: false,
+                            effects,
+                        }
+                    }
+                }
                 EventKind::AdvTimer { .. } => {
                     unreachable!("adversary timers never enter lane queues")
                 }
@@ -702,10 +719,7 @@ impl<A: Automaton> ShardedSim<A> {
     #[must_use]
     pub fn run_with_stats(mut self) -> (Trace, MailboxStats) {
         self.init();
-        loop {
-            let Some(start) = self.global_min_key() else {
-                break;
-            };
+        while let Some(start) = self.global_min_key() {
             if start.at() > self.limits.horizon {
                 break;
             }
@@ -764,10 +778,32 @@ impl<A: Automaton> ShardedSim<A> {
     /// reconcile is trivially sequential here).
     fn init(&mut self) {
         debug_assert_eq!(self.now, Time::ZERO);
+        self.schedule_recoveries();
         for v in self.honest.clone() {
             self.run_handler_inline(v, |node, ctx| node.on_init(ctx));
         }
         self.with_adversary(|adv, api| adv.on_init(api));
+    }
+
+    /// Mirror of `Sim::schedule_recoveries`: one [`EventKind::Recover`]
+    /// per honest crash window that ends, pushed before any other event
+    /// in the identical order — so the events carry the identical
+    /// sequence numbers as the single-lane engine's, and pop before any
+    /// timer deferred to the same recovery instant.
+    fn schedule_recoveries(&mut self) {
+        let Some(chaos) = self.cx.chaos.clone() else {
+            return;
+        };
+        for (at, node, down) in chaos.crash_transitions() {
+            if down || self.cx.faulty_mask[node] {
+                continue;
+            }
+            let node = NodeId::new(node);
+            let seq = self.alloc_seq();
+            self.lane_mut(node)
+                .queue
+                .push_with_seq(at, seq, EventKind::Recover { node });
+        }
     }
 
     /// Advances every lane with window work — through the persistent
@@ -1013,7 +1049,12 @@ impl<A: Automaton> ShardedSim<A> {
                 }
                 ReplayEffect::Pulse { node, index } => {
                     let before = self.trace.violations.len();
-                    self.trace.record_pulse(node, index, self.now);
+                    let jump_ok = self
+                        .cx
+                        .chaos
+                        .as_deref()
+                        .is_some_and(|c| c.was_ever_down(node));
+                    self.trace.record_pulse(node, index, self.now, jump_ok);
                     if let Some(obs) = &self.observer {
                         // `record_pulse` may itself flag an out-of-order
                         // pulse; surface that to the observer too (same
@@ -1097,6 +1138,16 @@ impl<A: Automaton> ShardedSim<A> {
                     }
                 } else if self.lanes[l].timers.fire(id) && !self.cx.faulty_mask[node.index()] {
                     self.run_handler_inline(node, |n, ctx| n.on_timer(id, ctx));
+                }
+            }
+            EventKind::Recover { node } => {
+                if !self
+                    .cx
+                    .chaos
+                    .as_deref()
+                    .is_some_and(|c| c.down(node, self.now))
+                {
+                    self.run_handler_inline(node, |n, ctx| n.on_recover(ctx));
                 }
             }
             EventKind::AdvTimer { .. } => {

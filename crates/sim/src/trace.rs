@@ -63,25 +63,44 @@ pub struct Trace {
     /// Extra message copies injected by chaos flood windows. Zero when
     /// no timeline is installed.
     pub chaos_duplicates: u64,
+    /// Per node, pulse indices legitimately skipped by post-recovery
+    /// fast-forwards (see `crusader_core`'s rejoin protocol): a node that
+    /// adopts a certified round `r★` after a crash emits its next pulse
+    /// with an index jump, which is not a protocol violation. Tracked so
+    /// subsequent pulses compare against the jumped sequence. Empty until
+    /// the first recorded pulse; all-zero for runs without recoveries.
+    jump_base: Vec<u64>,
 }
 
 impl Trace {
     pub(crate) fn new(n: usize) -> Self {
         Trace {
             pulses: vec![Vec::new(); n],
+            jump_base: vec![0; n],
             ..Trace::default()
         }
     }
 
-    pub(crate) fn record_pulse(&mut self, node: NodeId, index: u64, at: Time) {
-        let list = &mut self.pulses[node.index()];
-        if index as usize != list.len() + 1 {
+    /// Records node `node`'s pulse `index` at real time `at`.
+    ///
+    /// `jump_ok` is true when the node may have fast-forwarded its round
+    /// state after a crash recovery (the executors pass "was this node in
+    /// any crash window"): a *forward* index jump is then bookkept in
+    /// `jump_base` instead of flagged. Everything else — regressions,
+    /// duplicates, jumps without recovery — is a violation, exactly as
+    /// before.
+    pub(crate) fn record_pulse(&mut self, node: NodeId, index: u64, at: Time, jump_ok: bool) {
+        let v = node.index();
+        let expected = self.pulses[v].len() as u64 + 1 + self.jump_base[v];
+        if jump_ok && index > expected {
+            self.jump_base[v] += index - expected;
+        } else if index != expected {
             self.violations.push(format!(
                 "{node} emitted pulse {index} after {} pulses",
-                list.len()
+                self.pulses[v].len()
             ));
         }
-        list.push(at);
+        self.pulses[v].push(at);
     }
 
     /// The number of pulses completed by *every* node in `nodes`.
@@ -114,9 +133,9 @@ mod tests {
         let mut t = Trace::new(3);
         let a = NodeId::new(0);
         let b = NodeId::new(1);
-        t.record_pulse(a, 1, Time::from_secs(1.0));
-        t.record_pulse(b, 1, Time::from_secs(1.1));
-        t.record_pulse(a, 2, Time::from_secs(2.0));
+        t.record_pulse(a, 1, Time::from_secs(1.0), false);
+        t.record_pulse(b, 1, Time::from_secs(1.1), false);
+        t.record_pulse(a, 2, Time::from_secs(2.0), false);
         assert_eq!(t.complete_pulses(&[a, b]), 1);
         assert_eq!(
             t.pulse_times(1, &[a, b]),
@@ -129,7 +148,21 @@ mod tests {
     #[test]
     fn out_of_order_pulse_is_a_violation() {
         let mut t = Trace::new(1);
-        t.record_pulse(NodeId::new(0), 5, Time::ZERO);
+        t.record_pulse(NodeId::new(0), 5, Time::ZERO, false);
+        assert_eq!(t.violations.len(), 1);
+    }
+
+    #[test]
+    fn recovery_jump_is_tolerated_then_tracked() {
+        let mut t = Trace::new(1);
+        let v = NodeId::new(0);
+        t.record_pulse(v, 1, Time::from_secs(1.0), true);
+        // Fast-forward: 2..=7 skipped while crashed.
+        t.record_pulse(v, 8, Time::from_secs(8.0), true);
+        t.record_pulse(v, 9, Time::from_secs(9.0), true);
+        assert!(t.violations.is_empty(), "{:?}", t.violations);
+        // A regression is still a violation even for a recovered node.
+        t.record_pulse(v, 4, Time::from_secs(10.0), true);
         assert_eq!(t.violations.len(), 1);
     }
 

@@ -81,7 +81,7 @@ impl DriftModel {
                 HardwareClock::with_offset_and_rate(max_offset * frac, 1.0)
             }
             DriftModel::ExtremalSplit => {
-                if i % 2 == 0 {
+                if i.is_multiple_of(2) {
                     HardwareClock::with_offset_and_rate(Dur::ZERO, 1.0)
                 } else {
                     HardwareClock::with_offset_and_rate(max_offset, theta)

@@ -20,6 +20,16 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::send_timeout`], handing the message
+    /// back to the caller either way (matching `crossbeam-channel`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The timeout elapsed with the bounded queue still full.
+        Timeout(T),
+        /// All receivers disconnected.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv`] when all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -49,11 +59,18 @@ pub mod channel {
         /// Receivers currently parked on the condvar; senders skip the
         /// notify syscall when nobody is waiting.
         waiters: usize,
+        /// Capacity bound (`None` for unbounded channels).
+        cap: Option<usize>,
+        /// Senders currently parked waiting for queue space (bounded
+        /// channels only).
+        space_waiters: usize,
     }
 
     struct Chan<T> {
         inner: Mutex<Inner<T>>,
         ready: Condvar,
+        /// Senders park here when a bounded queue is full.
+        space: Condvar,
     }
 
     /// The sending half of an unbounded channel.
@@ -85,18 +102,61 @@ pub mod channel {
 
     impl<T> Sender<T> {
         /// Sends `msg`, failing only if every receiver has been dropped.
+        /// On a bounded channel this blocks while the queue is full.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             let mut inner = self.chan.inner.lock().expect("channel poisoned");
-            if inner.receivers == 0 {
-                return Err(SendError(msg));
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if inner.cap.is_none_or(|c| inner.queue.len() < c) {
+                    inner.queue.push_back(msg);
+                    let wake = inner.waiters > 0;
+                    drop(inner);
+                    if wake {
+                        self.chan.ready.notify_one();
+                    }
+                    return Ok(());
+                }
+                inner.space_waiters += 1;
+                inner = self.chan.space.wait(inner).expect("channel poisoned");
+                inner.space_waiters -= 1;
             }
-            inner.queue.push_back(msg);
-            let wake = inner.waiters > 0;
-            drop(inner);
-            if wake {
-                self.chan.ready.notify_one();
+        }
+
+        /// Sends `msg`, giving up (and handing the message back) if a
+        /// bounded queue stays full for `timeout`. On an unbounded
+        /// channel this never times out.
+        pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.chan.inner.lock().expect("channel poisoned");
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(msg));
+                }
+                if inner.cap.is_none_or(|c| inner.queue.len() < c) {
+                    inner.queue.push_back(msg);
+                    let wake = inner.waiters > 0;
+                    drop(inner);
+                    if wake {
+                        self.chan.ready.notify_one();
+                    }
+                    return Ok(());
+                }
+                let now = Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(SendTimeoutError::Timeout(msg));
+                };
+                inner.space_waiters += 1;
+                let (guard, _timed_out) = self
+                    .chan
+                    .space
+                    .wait_timeout(inner, remaining)
+                    .expect("channel poisoned");
+                inner = guard;
+                inner.space_waiters -= 1;
             }
-            Ok(())
         }
     }
 
@@ -117,17 +177,34 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.chan.inner.lock().expect("channel poisoned").receivers -= 1;
+            let mut inner = self.chan.inner.lock().expect("channel poisoned");
+            inner.receivers -= 1;
+            if inner.receivers == 0 && inner.space_waiters > 0 {
+                // Wake every parked sender so it can observe the
+                // disconnect.
+                drop(inner);
+                self.chan.space.notify_all();
+            }
         }
     }
 
     impl<T> Receiver<T> {
+        /// Wakes one parked sender after a pop freed bounded-queue space.
+        fn pop_wake(&self, inner: std::sync::MutexGuard<'_, Inner<T>>, msg: T) -> T {
+            let wake_space = inner.cap.is_some() && inner.space_waiters > 0;
+            drop(inner);
+            if wake_space {
+                self.chan.space.notify_one();
+            }
+            msg
+        }
+
         /// Blocks until a message arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut inner = self.chan.inner.lock().expect("channel poisoned");
             loop {
                 if let Some(msg) = inner.queue.pop_front() {
-                    return Ok(msg);
+                    return Ok(self.pop_wake(inner, msg));
                 }
                 if inner.senders == 0 {
                     return Err(RecvError);
@@ -151,7 +228,7 @@ pub mod channel {
             let mut inner = self.chan.inner.lock().expect("channel poisoned");
             loop {
                 if let Some(msg) = inner.queue.pop_front() {
-                    return Ok(msg);
+                    return Ok(self.pop_wake(inner, msg));
                 }
                 if inner.senders == 0 {
                     return Err(RecvTimeoutError::Disconnected);
@@ -176,7 +253,7 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut inner = self.chan.inner.lock().expect("channel poisoned");
             if let Some(msg) = inner.queue.pop_front() {
-                return Ok(msg);
+                return Ok(self.pop_wake(inner, msg));
             }
             if inner.senders == 0 {
                 return Err(TryRecvError::Disconnected);
@@ -185,17 +262,18 @@ pub mod channel {
         }
     }
 
-    /// Creates an unbounded channel.
-    #[must_use]
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let chan = Arc::new(Chan {
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
                 waiters: 0,
+                cap,
+                space_waiters: 0,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
         });
         (
             Sender {
@@ -203,6 +281,25 @@ pub mod channel {
             },
             Receiver { chan },
         )
+    }
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Creates a bounded channel: `send` blocks while `cap` messages are
+    /// queued, `send_timeout` gives up after its timeout. Zero-capacity
+    /// rendezvous channels are not supported by this stand-in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "rendezvous channels are not supported");
+        channel(Some(cap))
     }
 
     #[cfg(test)]
@@ -275,6 +372,50 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(rx);
             assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn bounded_send_timeout_reports_full_queue() {
+            let (tx, rx) = bounded::<u8>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(
+                tx.send_timeout(3, Duration::from_millis(5)),
+                Err(SendTimeoutError::Timeout(3))
+            );
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(tx.send_timeout(3, Duration::from_millis(5)), Ok(()));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_space() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            let sender = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv(), Ok(1));
+            sender.join().unwrap().unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn send_timeout_reports_disconnect() {
+            let (tx, rx) = bounded::<u8>(1);
+            drop(rx);
+            assert_eq!(
+                tx.send_timeout(9, Duration::from_millis(5)),
+                Err(SendTimeoutError::Disconnected(9))
+            );
+        }
+
+        #[test]
+        fn dropping_receiver_wakes_blocked_sender() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            let sender = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(10));
+            drop(rx);
+            assert_eq!(sender.join().unwrap(), Err(SendError(2)));
         }
 
         #[test]
